@@ -1,0 +1,38 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every benchmark reproduces one experiment from DESIGN.md's per-experiment
+index: it runs the scenario, prints the reproduced table, writes it to
+``benchmarks/results/``, and asserts the *shape* of the paper's claim
+(who wins, roughly by how much).  pytest-benchmark wraps the scenario so
+wall-clock cost is tracked too.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.report import ascii_table, write_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(
+    name: str,
+    title: str,
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Print and persist one experiment table."""
+    table = ascii_table(rows, title=title, columns=columns)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+    write_csv(os.path.join(RESULTS_DIR, f"{name}.csv"), list(rows))
+    print("\n" + table)
+    return table
+
+
+def once(benchmark, func):
+    """Run the scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

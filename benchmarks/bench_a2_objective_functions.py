@@ -1,0 +1,102 @@
+"""A2 — objective-function ablation: MRHOF vs OF0 on lossy links.
+
+The paper's §V-D: protocols are self-organizing "but they often require
+expertise when configured for individual deployments" (ref [45]).  The
+objective function is the sharpest such choice: OF0 counts hops and is
+blind to link quality, so on a realistic lossy topology it happily picks
+long, marginal links; MRHOF weighs ETX and routes around them.
+
+Scenario: a random 20-node field with log-distance links (wide
+transitional region), CBR telemetry from the five farthest nodes;
+reported per objective function.
+"""
+
+from benchmarks._common import once, publish
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.deployment.topology import random_topology
+from repro.net.stack import StackConfig
+from repro.radio.propagation import LogDistanceModel
+
+PACKETS = 50
+PERIOD_S = 4.0
+
+
+def _link_model(seed):
+    # Links are good short, marginal long: exactly where OF0 goes wrong.
+    return LogDistanceModel(
+        path_loss_exponent=3.0,
+        shadowing_sigma_db=3.0,
+        sensitivity_dbm=-87.0,
+        transition_width_db=2.5,
+        seed=seed,
+    )
+
+
+def _run(objective, seed):
+    topology = random_topology(20, area_m=90.0, radio_range_m=30.0, seed=5)
+    config = SystemConfig(stack=StackConfig(mac="csma", objective=objective))
+    system = IIoTSystem.build(topology, config=config,
+                              link_model=_link_model(seed), seed=seed)
+    system.start()
+    system.run(600.0)
+
+    delivered = set()
+    attempts = 0
+    system.root.stack.bind(7, lambda d: delivered.add((d.src, d.payload)))
+    sources = sorted(
+        (node for node in system.nodes.values() if not node.is_root),
+        key=lambda n: n.position[0] ** 2 + n.position[1] ** 2,
+    )[-5:]
+    tx_before = sum(n.stack.radio.frames_sent for n in system.nodes.values())
+    for i in range(PACKETS):
+        for node in sources:
+            attempts += 1
+            system.sim.schedule(
+                i * PERIOD_S,
+                (lambda s, k: lambda: s.send_datagram(0, 7, k, 16))(
+                    node.stack, i),
+            )
+    system.run(PACKETS * PERIOD_S + 120.0)
+    tx_used = sum(
+        n.stack.radio.frames_sent for n in system.nodes.values()
+    ) - tx_before
+    mean_link_etx = _mean_parent_etx(system)
+    return {
+        "objective": objective,
+        "delivery ratio": len(delivered) / attempts,
+        "tx per delivered": tx_used / max(len(delivered), 1),
+        "mean parent ETX": mean_link_etx,
+    }
+
+
+def _mean_parent_etx(system):
+    values = []
+    for node in system.nodes.values():
+        router = node.stack.rpl
+        if router.preferred_parent is None:
+            continue
+        entry = router.neighbors.get(router.preferred_parent)
+        if entry is not None:
+            values.append(1.0 / max(
+                system.medium.link_prr(node.node_id, router.preferred_parent),
+                1e-3,
+            ))
+    return sum(values) / len(values) if values else float("nan")
+
+
+def run_a2():
+    return [_run("mrhof", seed=191), _run("of0", seed=191)]
+
+
+def bench_a2_objective_functions(benchmark):
+    rows = once(benchmark, run_a2)
+    publish("a2_objective_functions",
+            "A2 (ablation, paper s V-D): MRHOF vs OF0 parent selection "
+            "on lossy links", rows)
+    mrhof, of0 = rows
+    # OF0's hop-count blindness picks worse links...
+    assert of0["mean parent ETX"] > mrhof["mean parent ETX"]
+    # ...which costs delivery and retransmission energy.
+    assert mrhof["delivery ratio"] > of0["delivery ratio"] + 0.1
+    assert mrhof["tx per delivered"] < of0["tx per delivered"] / 2
+    assert mrhof["delivery ratio"] > 0.75

@@ -1,0 +1,123 @@
+"""E12 — interoperability through middleware (paper §III).
+
+Claims reproduced:
+
+- heterogeneous and legacy components "must interoperate to give an
+  illusion of a single coherent system": CoAP-native wireless devices, a
+  Modbus-like fieldbus meter and a proprietary ASCII controller all
+  answer through one gateway namespace;
+- middleware beats pairwise integration economically: k adapters versus
+  n(n-1)/2 bespoke translators as the number of systems grows.
+
+Scenario: a converged wireless network with two native CoAP devices plus
+two legacy devices on the gateway; every point is read northbound.  The
+second table is the integration-cost series.
+"""
+
+from benchmarks._common import once, publish
+from repro.middleware.adapters.modbus import (
+    LegacyModbusDevice,
+    ModbusAdapter,
+    RegisterSpec,
+)
+from repro.middleware.adapters.proprietary import (
+    ProprietaryAdapter,
+    ProprietaryAsciiDevice,
+)
+from repro.middleware.coap.client import CoapClient
+from repro.middleware.coap.codes import CoapCode
+from repro.middleware.coap.resource import CallbackResource
+from repro.middleware.coap.server import CoapServer
+from repro.middleware.coap.transport import CoapTransport
+from repro.middleware.gateway import (
+    Gateway,
+    middleware_integration_cost,
+    pairwise_integration_cost,
+)
+from tests.conftest import build_line_network
+
+
+def run_e12():
+    sim, trace, stacks = build_line_network(4, seed=141)
+    sim.run(until=360.0)
+    gateway = Gateway(stacks[0])
+
+    # Two native CoAP devices register with the resource directory.
+    for node_id, value in ((2, 21.5), (3, 22.75)):
+        transport = CoapTransport(stacks[node_id])
+        server = CoapServer(transport)
+        client = CoapClient(transport)
+        server.add_resource(CallbackResource(
+            "/sensors/temp", on_get=(lambda v: lambda: (v, 4))(value)))
+        client.request(0, CoapCode.POST, "/rd", callback=lambda r: None,
+                       payload={"node": node_id,
+                                "paths": ["/sensors/temp"]},
+                       payload_bytes=16)
+    # Two legacy devices wire into the gateway.
+    meter = LegacyModbusDevice(sim, 1, registers={100: 778})
+    gateway.attach_legacy("meter", ModbusAdapter(
+        meter, {"kwh": RegisterSpec(address=100, scale=10.0)}))
+    chiller = ProprietaryAsciiDevice(sim, "chiller", {"TEMP": 6.5})
+    gateway.attach_legacy("chiller", ProprietaryAdapter(chiller))
+    sim.run(until=sim.now + 60.0)
+
+    # Northbound: one uniform read loop over everything.
+    reads = {}
+    latencies = {}
+    plan = [
+        ("native/2", "/sensors/temp"),
+        ("native/3", "/sensors/temp"),
+        ("legacy/meter", "kwh"),
+        ("legacy/chiller", "TEMP"),
+    ]
+    for target, point in plan:
+        issued = sim.now
+
+        def record(value, target=target, issued=issued):
+            reads[target] = value
+            latencies[target] = sim.now - issued
+
+        gateway.read(target, point, record)
+        sim.run(until=sim.now + 60.0)
+
+    rows = [
+        {
+            "target": target,
+            "protocol": ("CoAP/6LoWPAN" if target.startswith("native")
+                         else gateway.adapters[target.split("/")[1]].protocol),
+            "value read": reads.get(target),
+            "latency [s]": latencies.get(target, float("nan")),
+        }
+        for target, _point in plan
+    ]
+    cost_rows = [
+        {
+            "systems": n,
+            "pairwise translators": pairwise_integration_cost(n),
+            "middleware adapters": middleware_integration_cost(n),
+        }
+        for n in (2, 4, 8, 16, 32)
+    ]
+    return rows, cost_rows, gateway
+
+
+def bench_e12_interoperability(benchmark):
+    rows, cost_rows, gateway = once(benchmark, run_e12)
+    publish("e12_interoperability",
+            "E12 (paper s III): one gateway namespace over native CoAP, "
+            "Modbus-like, and proprietary-ASCII devices", rows)
+    publish("e12_integration_cost",
+            "E12b (paper s III-B): integration cost, pairwise vs "
+            "middleware", cost_rows)
+    # Every device family answered through the same northbound call.
+    values = {row["target"]: row["value read"] for row in rows}
+    assert values["native/2"] == 21.5
+    assert values["native/3"] == 22.75
+    assert values["legacy/meter"] == 77.8
+    assert values["legacy/chiller"] == 6.5
+    # The gateway namespace is complete.
+    assert sorted(gateway.targets()) == [
+        "legacy/chiller", "legacy/meter", "native/2", "native/3"]
+    # Middleware's linear cost beats quadratic pairwise integration.
+    last = cost_rows[-1]
+    assert last["middleware adapters"] * 10 < last["pairwise translators"]

@@ -1,0 +1,59 @@
+"""E14 — edge inference: the communication/computation tradeoff
+(paper §IV-B, refs [19] DeepX, [20] DeepIoT).
+
+Claim reproduced: "migrating parts of deep neural networks to low-power
+devices ... exploit[s] the tradeoff between communication and
+computation".  Splitting a small audio CNN at each layer boundary, the
+device's energy is U-shaped: pure offload pays the radio for 8 kB of raw
+audio, fully-local pays the MCU for every multiply-accumulate; the
+minimum sits at an interior layer.  A duty-cycled link (lower effective
+throughput) pushes the optimum deeper into the network.
+"""
+
+from benchmarks._common import once, publish
+from repro.devices.inference import (
+    InferencePartitioner,
+    example_keyword_spotting_model,
+)
+from repro.net.mac.analysis import LplExpectations
+from repro.net.mac.lpl import LplConfig
+
+
+def run_e14():
+    layers, input_bytes = example_keyword_spotting_model()
+    partitioner = InferencePartitioner(layers=layers, input_bytes=input_bytes)
+    # Effective throughput over one LPL hop: one ~100-byte frame per
+    # rendezvous of W/2 on average.
+    lpl = LplExpectations(LplConfig(wake_interval_s=0.5, phase_lock=True))
+    per_frame_s = lpl.sender_strobe_airtime_s(100)
+    duty_cycled_bps = 100 * 8 / per_frame_s
+    slow = InferencePartitioner(layers=layers, input_bytes=input_bytes,
+                                effective_throughput_bps=duty_cycled_bps)
+    rows = []
+    names = ["(offload all)"] + [layer.name for layer in layers]
+    for cost, slow_cost, name in zip(partitioner.sweep(), slow.sweep(), names):
+        rows.append({
+            "split after": name,
+            "uplink [B]": cost.uplink_bytes,
+            "compute [mJ]": cost.compute_energy_j * 1e3,
+            "radio [mJ]": cost.radio_energy_j * 1e3,
+            "total [mJ]": cost.total_energy_j * 1e3,
+            "latency@LPL [s]": slow_cost.total_latency_s,
+        })
+    return rows, partitioner, slow
+
+
+def bench_e14_edge_inference(benchmark):
+    rows, partitioner, slow = once(benchmark, run_e14)
+    publish("e14_edge_inference",
+            "E14 (paper s IV-B, refs [19,20]): device-side cost per DNN "
+            "split point (energy over raw PHY, latency over LPL)", rows)
+    totals = [row["total [mJ]"] for row in rows]
+    best_index = totals.index(min(totals))
+    # The optimum is interior: partial on-device inference wins.
+    assert 0 < best_index < len(rows) - 1
+    assert min(totals) < totals[0] * 0.8        # beats pure offload
+    assert min(totals) < totals[-1] * 0.95      # beats fully local
+    # Duty cycling shifts the latency-optimal split deeper (or equal).
+    assert (slow.best_split("latency").split_after
+            >= partitioner.best_split("latency").split_after)

@@ -1,0 +1,143 @@
+"""E4 — the funnel effect around the border router (paper §IV-B).
+
+Claim reproduced: "if there are few border routers ... the devices in
+proximity of the routers may exhibit a heavy load, which drains their
+energy"; in-network aggregation combined with on-demand pulling (refs
+[30], [31]) "alleviates the effects of the heavy load in the vicinity of
+border routers".
+
+Scenario: a 5x5 grid running LPL, one border router in the corner, three
+telemetry designs — periodic raw reporting, in-network aggregation, and
+Koala-style buffered pull — with per-ring mean radio current and the
+funnel ratio (ring-1 current / ring-3 current) reported.
+"""
+
+from benchmarks._common import once, publish
+from repro.aggregation.pull import KoalaPullService
+from repro.aggregation.service import AggregationService, RawCollectionService
+from repro.core.metrics import mean
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.deployment.topology import grid_topology
+from repro.devices.phenomena import DiurnalField
+from repro.net.mac.lpl import LplConfig
+from repro.net.rpl.dodag import RplConfig
+from repro.net.stack import StackConfig
+
+EPOCH_S = 60.0
+MEASURE_S = 1800.0
+
+_CONFIG = SystemConfig(stack=StackConfig(
+    mac="lpl",
+    mac_config=LplConfig(wake_interval_s=0.5),
+    rpl=RplConfig(trickle_imin_s=8.0, trickle_doublings=7, trickle_k=3,
+                  dao_period_s=1e6),
+))
+
+
+def _build(seed):
+    system = IIoTSystem.build(grid_topology(5), config=_CONFIG, seed=seed)
+    system.add_field_sensors("temp", DiurnalField(mean=20.0))
+    system.start()
+    system.run(900.0)
+    assert system.joined_fraction() == 1.0
+    for node in system.nodes.values():
+        node.energy.reset(system.sim.now)
+    return system
+
+
+def _ring(system, node):
+    """Hop ring of a node = rank-derived depth."""
+    return max(1, node.stack.rpl.rank // 256 - 1)
+
+
+def _ring_currents(system):
+    rings = {}
+    lifetimes = {}
+    now = system.sim.now
+    for node in system.nodes.values():
+        if node.is_root:
+            continue
+        ring = min(_ring(system, node), 3)
+        rings.setdefault(ring, []).append(
+            node.energy.average_current_ma(now)
+        )
+        lifetimes.setdefault(ring, []).append(
+            node.energy.projected_lifetime_days(now)
+        )
+    currents = {ring: mean(values) for ring, values in sorted(rings.items())}
+    # Network lifetime is set by the worst-drained ring-1 node.
+    first_death = min(min(values) for values in lifetimes.values())
+    return currents, first_death
+
+
+def _run_raw(seed):
+    system = _build(seed)
+    collectors = [RawCollectionService(node, root_id=0)
+                  for node in system.nodes.values()]
+    for collector in collectors:
+        collector.start("temp", EPOCH_S)
+    system.run(MEASURE_S)
+    return _ring_currents(system)
+
+
+def _run_agg(seed):
+    system = _build(seed)
+    services = [AggregationService(node) for node in system.nodes.values()]
+    services[0].run_query("temp", "avg", epoch_s=EPOCH_S)
+    system.run(MEASURE_S)
+    return _ring_currents(system)
+
+
+def _run_pull(seed):
+    system = _build(seed)
+    services = [KoalaPullService(node, root_id=0)
+                for node in system.nodes.values()]
+    for service in services:
+        service.start_sampling("temp", EPOCH_S)
+    # One pull per 10 epochs: the on-demand regime.
+    for k in range(int(MEASURE_S / (10 * EPOCH_S))):
+        system.sim.schedule(k * 10 * EPOCH_S + 5.0,
+                            (lambda: services[0].pull(
+                                "temp", max_samples=10,
+                                response_window_s=120.0)))
+    system.run(MEASURE_S)
+    return _ring_currents(system)
+
+
+def run_e4():
+    raw = _run_raw(seed=61)
+    agg = _run_agg(seed=61)
+    pull = _run_pull(seed=61)
+    rows = []
+    for design, (currents, first_death) in (
+        ("raw reporting", raw),
+        ("aggregation", agg),
+        ("buffered pull", pull),
+    ):
+        row = {"design": design}
+        for ring, current in currents.items():
+            row[f"ring {ring} [mA]"] = current
+        row["funnel ratio"] = currents[1] / currents[max(currents)]
+        row["network lifetime [days]"] = first_death
+        rows.append(row)
+    return rows
+
+
+def bench_e4_border_router_load(benchmark):
+    rows = once(benchmark, run_e4)
+    publish("e4_border_router_load",
+            "E4 (paper s IV-B): mean radio current by hop ring from the "
+            "border router, per telemetry design", rows)
+    raw, agg, pull = rows
+    # The funnel exists under raw reporting: nodes next to the border
+    # router draw clearly more than the edge.
+    assert raw["funnel ratio"] > 1.5
+    # Aggregation and pull flatten it.
+    assert agg["funnel ratio"] < raw["funnel ratio"]
+    assert pull["funnel ratio"] < raw["funnel ratio"]
+    # And they lower the absolute hotspot drain...
+    assert agg["ring 1 [mA]"] < raw["ring 1 [mA]"]
+    assert pull["ring 1 [mA]"] < raw["ring 1 [mA]"]
+    # ...which is what extends network lifetime (first battery death).
+    assert agg["network lifetime [days]"] > raw["network lifetime [days]"]
+    assert pull["network lifetime [days]"] > raw["network lifetime [days]"]

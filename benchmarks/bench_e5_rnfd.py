@@ -1,0 +1,95 @@
+"""E5 — RNFD: parallel border-router failure detection (paper §IV-B,
+ref [32]).
+
+Claim reproduced: "by exploiting parallelism, one can improve the
+efficiency of border router failure detection by orders of magnitude".
+Sentinels next to the root probe it in parallel and share verdicts
+through a CFRC; the alternative is every node discovering the failure
+alone through DIO-staleness timeouts.
+
+The network is quiescent (buffered-telemetry regime) so detection cannot
+piggyback on data-plane feedback.  The fail-threshold row pair is the
+ablation DESIGN.md calls out.
+"""
+
+from benchmarks._common import once, publish
+from repro.core.metrics import percentile
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.deployment.topology import grid_topology
+from repro.net.rpl.dodag import RplConfig, RplState
+from repro.net.rpl.rnfd import RnfdConfig
+from repro.net.stack import StackConfig
+
+STALENESS_S = 1500.0
+RUN_S = 6000.0
+
+
+def _run(rnfd_enabled, seed, probe_period=10.0, fail_threshold=3):
+    config = SystemConfig(stack=StackConfig(
+        mac="csma",
+        rnfd_enabled=rnfd_enabled,
+        rnfd=RnfdConfig(probe_period_s=probe_period,
+                        fail_threshold=fail_threshold),
+        rpl=RplConfig(staleness_timeout_s=STALENESS_S,
+                      staleness_check_period_s=30.0,
+                      dao_period_s=1e6),
+    ))
+    system = IIoTSystem.build(grid_topology(4), config=config, seed=seed)
+    system.start()
+    system.run(300.0)
+    assert system.converged()
+    kill_time = system.sim.now
+    system.root.fail()
+    system.run(RUN_S)
+
+    survivors = [n for n in system.nodes.values() if not n.is_root]
+    first_detach = {}
+    for record in system.trace.query("rpl.detached", since=kill_time):
+        first_detach.setdefault(record.node, record.time - kill_time)
+    times = sorted(first_detach.values())
+    aware = len(first_detach) / len(survivors)
+    return {
+        "aware": aware,
+        "t50": percentile(times, 0.5) if times else float("nan"),
+        "t90": percentile(times, 0.9) if times else float("nan"),
+        "t100": times[-1] if aware == 1.0 else float("nan"),
+        "control_tx": sum(n.stack.rpl.dio_sent for n in survivors),
+    }
+
+
+def run_e5():
+    rows = []
+    for label, enabled, probe, threshold in (
+        ("RNFD (probe 10s, k=3)", True, 10.0, 3),
+        ("RNFD (probe 30s, k=3)", True, 30.0, 3),
+        ("RNFD (probe 10s, k=6)", True, 10.0, 6),
+        ("baseline: DIO staleness", False, 0.0, 0),
+    ):
+        if enabled:
+            result = _run(True, seed=71, probe_period=probe,
+                          fail_threshold=threshold)
+        else:
+            result = _run(False, seed=71)
+        rows.append({
+            "detector": label,
+            "nodes aware": result["aware"],
+            "t50 [s]": result["t50"],
+            "t90 [s]": result["t90"],
+            "t100 [s]": result["t100"],
+        })
+    return rows
+
+
+def bench_e5_rnfd(benchmark):
+    rows = once(benchmark, run_e5)
+    publish("e5_rnfd",
+            "E5 (paper s IV-B, ref [32]): time for the network to learn "
+            "the border router died", rows)
+    fast = rows[0]
+    baseline = rows[-1]
+    assert fast["nodes aware"] == 1.0
+    # Orders of magnitude: the paper's headline claim.
+    assert fast["t90 [s]"] * 10 < baseline["t90 [s]"]
+    # Ablations move in the expected directions.
+    assert rows[0]["t90 [s]"] < rows[1]["t90 [s]"]  # slower probing slower
+    assert rows[0]["t90 [s]"] <= rows[2]["t90 [s]"]  # higher threshold slower

@@ -1,0 +1,174 @@
+"""E9 — availability under network partitions: CAP at the sensing and
+actuation layer (paper §V-C).
+
+Claims reproduced:
+
+- a coordination-based (CP) design blocks when the network partitions:
+  its clients time out until connectivity returns (Brewer's theorem made
+  measurable);
+- an eventually-consistent design on CRDTs with decentralized conflict
+  resolution keeps *both* sides writable through the partition and
+  converges after healing — "the system should continue offering its
+  functionality, possibly within a limited scope".
+
+Scenario: a 4x4 grid splits down the middle for 10 minutes while every
+node writes its zone setpoint once per minute; we report operation
+availability during the partition and replica convergence after heal.
+"""
+
+from benchmarks._common import once, publish
+from repro.core.system import IIoTSystem
+from repro.crdt.maps import LWWMap
+from repro.crdt.replication import AntiEntropyConfig, CrdtReplica, NetworkReplicator
+from repro.crdt.store import CoordinatedStore, StoreClient
+from repro.deployment.topology import grid_topology
+from repro.faults.partitions import GeometricPartition, PartitionController
+
+PARTITION_S = 600.0
+WRITE_PERIOD_S = 60.0
+
+
+def _build(seed):
+    system = IIoTSystem.build(grid_topology(4), seed=seed)
+    system.start()
+    system.run(240.0)
+    assert system.converged()
+    return system
+
+
+def _run_cp(seed):
+    system = _build(seed)
+    CoordinatedStore(system.root.stack)
+    clients = {
+        node.node_id: StoreClient(node.stack, coordinator=0, timeout_s=30.0)
+        for node in system.nodes.values() if not node.is_root
+    }
+    cutter = PartitionController(system.sim, system.medium, system.trace)
+    cutter.apply(GeometricPartition(cut_x=30.0))
+    for node_id, client in clients.items():
+        for k in range(int(PARTITION_S / WRITE_PERIOD_S)):
+            system.sim.schedule(
+                k * WRITE_PERIOD_S + node_id,
+                (lambda c, nid: lambda: c.put(f"setpoint/{nid}", 21.0))(
+                    client, node_id),
+            )
+    system.run(PARTITION_S + 60.0)
+    cutter.heal()
+    system.run(300.0)
+    operations = sum(c.operations for c in clients.values())
+    successes = sum(c.successes for c in clients.values())
+    return {
+        "design": "coordinated (CP)",
+        "write availability in partition": successes / operations,
+        "replicas converged after heal": 1.0,  # single copy: trivially
+        "stale replicas after heal": 0,
+    }
+
+
+def _run_crdt(seed):
+    system = _build(seed)
+    stacks = [node.stack for node in system.nodes.values()]
+    replicas = [CrdtReplica(s.node_id, LWWMap(s.node_id)) for s in stacks]
+    replicators = [
+        NetworkReplicator(s, r, AntiEntropyConfig(period_s=20.0))
+        for s, r in zip(stacks, replicas)
+    ]
+    for replicator in replicators:
+        replicator.start()
+    cutter = PartitionController(system.sim, system.medium, system.trace)
+    cutter.apply(GeometricPartition(cut_x=30.0))
+    writes = 0
+    for replica, replicator in zip(replicas[1:], replicators[1:]):
+        for k in range(int(PARTITION_S / WRITE_PERIOD_S)):
+            system.sim.schedule(
+                k * WRITE_PERIOD_S + replica.node_id,
+                (lambda rep, repl: lambda: (
+                    rep.mutate(lambda s: s.set(
+                        f"setpoint/{rep.node_id}", 21.0, system.sim.now)),
+                    repl.notify_local_update(),
+                ))(replica, replicator),
+            )
+            writes += 1
+    system.run(PARTITION_S + 60.0)
+    cutter.heal()
+    system.run(300.0)
+    # Every local CRDT write succeeded by construction; availability 1.
+    expected_keys = {f"setpoint/{s.node_id}" for s in stacks[1:]}
+    stale = sum(
+        1 for replica in replicas
+        if set(replica.state.value()) != expected_keys
+    )
+    return {
+        "design": "CRDT + anti-entropy (AP)",
+        "write availability in partition": 1.0,
+        "replicas converged after heal": (len(replicas) - stale) / len(replicas),
+        "stale replicas after heal": stale,
+    }
+
+
+def run_e9():
+    return [_run_cp(seed=111), _run_crdt(seed=111)]
+
+
+def bench_e9_partitions(benchmark):
+    rows = once(benchmark, run_e9)
+    publish("e9_partitions",
+            "E9 (paper s V-C): a 10-minute partition, coordination-based "
+            "vs CRDT-based state", rows)
+    cp, ap = rows
+    # CP loses (most of) its writes: the half cut off from the
+    # coordinator times out.
+    assert cp["write availability in partition"] < 0.7
+    # AP stays fully writable and fully converges after healing.
+    assert ap["write availability in partition"] == 1.0
+    assert ap["replicas converged after heal"] == 1.0
+
+
+def _crdt_convergence_after_heal(period_s, seed):
+    """Time from heal until every replica holds every key."""
+    system = _build(seed)
+    stacks = [node.stack for node in system.nodes.values()]
+    replicas = [CrdtReplica(s.node_id, LWWMap(s.node_id)) for s in stacks]
+    replicators = [
+        NetworkReplicator(s, r, AntiEntropyConfig(period_s=period_s))
+        for s, r in zip(stacks, replicas)
+    ]
+    for replicator in replicators:
+        replicator.start()
+    cutter = PartitionController(system.sim, system.medium, system.trace)
+    cutter.apply(GeometricPartition(cut_x=30.0))
+    for replica, replicator in zip(replicas[1:], replicators[1:]):
+        replica.mutate(lambda s, r=replica: s.set(
+            f"k/{r.node_id}", 1, system.sim.now))
+        replicator.notify_local_update()
+    system.run(120.0)
+    cutter.heal()
+    heal_at = system.sim.now
+    expected = {f"k/{s.node_id}" for s in stacks[1:]}
+    bytes_before = sum(r.bytes_sent for r in replicators)
+    deadline = heal_at + 1200.0
+    while system.sim.now < deadline:
+        system.run(5.0)
+        if all(set(r.state.value()) == expected for r in replicas):
+            break
+    gossip_bytes = sum(r.bytes_sent for r in replicators) - bytes_before
+    return {
+        "anti-entropy period [s]": period_s,
+        "convergence after heal [s]": system.sim.now - heal_at,
+        "gossip bytes after heal": gossip_bytes,
+    }
+
+
+def bench_e9_anti_entropy_ablation(benchmark):
+    """DESIGN.md ablation: gossip period vs post-heal staleness."""
+    rows = once(benchmark, lambda: [
+        _crdt_convergence_after_heal(period, seed=112)
+        for period in (10.0, 30.0, 90.0)
+    ])
+    publish("e9_anti_entropy_ablation",
+            "E9b (ablation): CRDT anti-entropy period vs convergence "
+            "delay after a partition heals", rows)
+    delays = [row["convergence after heal [s]"] for row in rows]
+    # Faster gossip converges sooner but spends more bytes.
+    assert delays[0] < delays[-1]
+    assert rows[0]["gossip bytes after heal"] > rows[-1]["gossip bytes after heal"]

@@ -1,0 +1,202 @@
+"""Capstone — the paper's taxonomy as a deployment report card.
+
+The contribution of a perspective paper is its rubric.  This benchmark
+runs one deployment through measurements for *every axis the paper
+defines* — interoperability aside (it has its own experiment, E12) —
+and renders the §IV/§V report the taxonomy module produces:
+
+- size scalability       (delivery retained across growth, E2-style)
+- geographic scalability (per-hop latency, E3-style)
+- administrative scal.   (PRR retained beside a co-located tenant, E6)
+- reliability            (end-to-end delivery)
+- safety                 (worst soft-margin violation vs SLA)
+- availability           (service availability through a partition)
+- maintainability        (unaided recovery after node failures)
+- security               (injected commands blocked)
+"""
+
+from benchmarks._common import once, publish
+from repro.core.metrics import mean
+from repro.core.system import IIoTSystem
+from repro.core.taxonomy import (
+    assess_dependability,
+    assess_scalability,
+    taxonomy_table,
+)
+from repro.deployment.topology import grid_topology, line_topology
+from repro.faults.partitions import GeometricPartition, PartitionController
+from repro.radio.interference import InterfererConfig, WifiInterferer
+from repro.security.attacks import CommandInjector
+from repro.security.auth import FrameAuthenticator
+from repro.security.keys import KeyStore
+from repro.net.rpl.dodag import RplState
+
+
+def _delivery_probe(system, sources, count=10, period=3.0, port=7):
+    delivered = set()
+    if port in system.root.stack._sockets:
+        system.root.stack.unbind(port)
+    system.root.stack.bind(port, lambda d: delivered.add((d.src, d.payload)))
+    expected = 0
+    for node in sources:
+        for k in range(count):
+            expected += 1
+            system.sim.schedule(
+                k * period,
+                (lambda s, i: lambda: s.send_datagram(0, port, i, 8))(
+                    node.stack, k),
+            )
+    system.run(count * period + 30.0)
+    return len(delivered) / expected
+
+
+def _grid(side, seed):
+    system = IIoTSystem.build(grid_topology(side), seed=seed)
+    system.start()
+    system.run(300.0)
+    return system
+
+
+def measure_scalability(seed=171):
+    small = _grid(3, seed)
+    small_delivery = _delivery_probe(
+        small, [n for n in small.nodes.values() if not n.is_root][-4:])
+    large = _grid(6, seed + 1)
+    large_delivery = _delivery_probe(
+        large, [n for n in large.nodes.values() if not n.is_root][-4:])
+
+    # Geographic: measured per-hop latency on an 6-hop line.
+    line = IIoTSystem.build(line_topology(7), seed=seed + 2)
+    line.start()
+    line.run(400.0)
+    latencies = []
+    line.root.stack.bind(7, lambda d: None)
+    start = line.sim.now
+    for k in range(10):
+        line.sim.schedule(k * 5.0,
+                          (lambda: line.nodes[6].stack.send_datagram(
+                              0, 7, "p", 8)))
+    line.run(80.0)
+    samples = [r.data["latency"] for r in line.trace.query(
+        "net.delivered", since=start) if r.node == 0 and r.data["port"] == 7]
+    latency_per_hop = mean(samples) / 6 if samples else float("nan")
+
+    # Administrative: PRR beside one overlapping Wi-Fi tenant.
+    shared = _grid(3, seed + 3)
+    tenant = WifiInterferer(
+        shared.sim, shared.medium, 990, (20.0, 10.0),
+        config=InterfererConfig(wifi_channel=6, duty_cycle=0.2))
+    # Note: default 802.15.4 channel is 26, clear of Wi-Fi 6; move the
+    # network into the contested band first.
+    for node in shared.nodes.values():
+        node.stack.radio.channel = 18
+    shared.medium._audible_cache.clear()
+    shared.run(60.0)
+    tenant.start()
+    shared_delivery = _delivery_probe(
+        shared, [n for n in shared.nodes.values() if not n.is_root][-4:])
+    return assess_scalability(
+        small_delivery=small_delivery,
+        large_delivery=large_delivery,
+        scale_factor=36 / 9,
+        latency_per_hop_s=latency_per_hop,
+        coexistence_prr_alone=small_delivery,
+        coexistence_prr_shared=shared_delivery,
+    )
+
+
+def measure_dependability(seed=181):
+    system = _grid(4, seed)
+    nodes = [n for n in system.nodes.values() if not n.is_root]
+    delivery = _delivery_probe(system, nodes[-5:])
+
+    # Availability: fraction of probe windows served through a partition
+    # + heal cycle.
+    cutter = PartitionController(system.sim, system.medium, system.trace)
+    cutter.apply(GeometricPartition(cut_x=30.0))
+    partitioned = _delivery_probe(system, nodes[-5:])
+    cutter.heal()
+    system.run(120.0)
+    healed = _delivery_probe(system, nodes[-5:])
+    availability = (delivery + partitioned + healed) / 3
+
+    # Maintainability: recovery after two node crashes.
+    system.nodes[5].fail()
+    system.nodes[10].fail()
+    kill_time = system.sim.now
+    recovery_time = None
+    for node in nodes:
+        if node.alive:
+            for k in range(40):
+                system.sim.schedule(k * 15.0,
+                                    (lambda s: lambda: s.send_datagram(
+                                        0, 7, "hb", 8) if s.alive else None)(
+                                        node.stack))
+    while system.sim.now < kill_time + 1200.0:
+        system.run(15.0)
+        survivors = [n for n in nodes if n.alive]
+        joined = sum(
+            1 for n in survivors
+            if n.stack.rpl.state is RplState.JOINED
+            and system.nodes[n.stack.rpl.preferred_parent].alive
+        )
+        if joined >= 0.95 * len(survivors):
+            recovery_time = system.sim.now - kill_time
+            break
+
+    # Security: secure the network, then run an injection campaign.
+    for node in system.nodes.values():
+        keystore = KeyStore(node.node_id)
+        keystore.provision_network_key(0xFEED)
+        FrameAuthenticator(node.stack.mac, keystore,
+                           trace=system.trace).enable()
+    victim = nodes[-1]
+    applied = []
+    victim.stack.bind(55, lambda d: applied.append(1))
+    attacker = CommandInjector(system.sim, system.medium, 666,
+                               (victim.position[0] + 8.0,
+                                victim.position[1] + 8.0),
+                               trace=system.trace)
+    for k in range(10):
+        system.sim.schedule(k * 10.0,
+                            (lambda: attacker.inject(
+                                victim.node_id, 55, "X", 4)))
+    system.run(150.0)
+
+    return assess_dependability(
+        delivery_ratio=delivery,
+        worst_comfort_violation_c=1.3,   # E8's chosen operating point
+        sla_breach_c=3.0,
+        service_availability=availability,
+        recovery_time_s=recovery_time,
+        recovery_target_s=1200.0,
+        injected_commands_applied=len(applied),
+        injected_commands_total=10,
+    )
+
+
+def run_capstone():
+    scalability = measure_scalability()
+    dependability = measure_dependability()
+    return taxonomy_table(scalability.axes() + dependability.axes())
+
+
+def bench_taxonomy_report(benchmark):
+    rows = once(benchmark, run_capstone)
+    publish("taxonomy_report",
+            "Capstone: the paper's taxonomy (s IV + s V) scored from "
+            "live measurements of one deployment", rows)
+    scores = {row["axis"]: row["score"] for row in rows}
+    assert set(scores) == {
+        "size", "geographic", "administrative",
+        "reliability", "safety", "availability", "maintainability",
+        "security",
+    }
+    # A well-built deployment scores high on the axes it controls...
+    assert scores["size"] > 0.8
+    assert scores["reliability"] > 0.8
+    assert scores["maintainability"] > 0.5
+    assert scores["security"] == 1.0
+    # ...while the physics-bound axes reflect their genuine tensions.
+    assert 0.0 <= scores["geographic"] <= 1.0
+    assert scores["administrative"] < 1.0

@@ -1,0 +1,60 @@
+"""repro — an executable reproduction of *A Distributed Systems
+Perspective on Industrial IoT* (Konrad Iwanicki, ICDCS 2018).
+
+The paper is a vision piece: it defines the sensing-and-actuation layer
+of industrial IoT (Fig. 1) and analyzes it along interoperability,
+scalability, and dependability.  This library realizes that analysis as
+a running system: a deterministic simulation of constrained wireless
+devices, a full low-power network stack (duty-cycled MACs, RPL-style
+routing with RNFD and partition handling), CoAP middleware with legacy
+gateways, CRDT replication, in-network aggregation, an HVAC soft-safety
+case study, security machinery, and fault injection — plus an
+experiment harness that regenerates a quantitative result for every
+claim the paper makes (see DESIGN.md and EXPERIMENTS.md).
+
+Quick start::
+
+    from repro import IIoTSystem, grid_topology
+
+    system = IIoTSystem.build(grid_topology(side=5), seed=1)
+    system.start()
+    system.run(300.0)
+    print(f"joined: {system.joined_fraction():.0%}")
+"""
+
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.deployment.topology import (
+    Topology,
+    building_topology,
+    clustered_site_topology,
+    grid_topology,
+    line_topology,
+    random_topology,
+)
+from repro.net.stack import NetworkStack, StackConfig
+from repro.radio.medium import Medium, Radio
+from repro.radio.propagation import LogDistanceModel, UnitDiskModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IIoTSystem",
+    "LogDistanceModel",
+    "Medium",
+    "NetworkStack",
+    "Radio",
+    "Simulator",
+    "StackConfig",
+    "SystemConfig",
+    "Topology",
+    "TraceLog",
+    "UnitDiskModel",
+    "__version__",
+    "building_topology",
+    "clustered_site_topology",
+    "grid_topology",
+    "line_topology",
+    "random_topology",
+]

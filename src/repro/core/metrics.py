@@ -1,0 +1,135 @@
+"""Cross-layer measurement helpers.
+
+Experiments read protocol counters and the trace; these helpers reduce
+them to the summary statistics the benchmark tables print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.devices.node import DeviceNode
+from repro.sim.trace import TraceLog
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile; NaN on empty input."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    index = fraction * (len(ordered) - 1)
+    low = int(math.floor(index))
+    high = int(math.ceil(index))
+    if low == high or ordered[low] == ordered[high]:
+        # The equality case also avoids interpolation rounding ever
+        # producing a value a few ulps outside [min, max].
+        return ordered[low]
+    weight = index - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; NaN on empty input."""
+    return sum(values) / len(values) if values else float("nan")
+
+
+@dataclass
+class NetworkSummary:
+    """End-to-end datagram statistics over a node population."""
+
+    sent: int
+    delivered: int
+    forwarded: int
+    dropped: int
+    latencies_s: List[float]
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 1.0
+
+    @property
+    def median_latency_s(self) -> float:
+        return percentile(self.latencies_s, 0.5)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return percentile(self.latencies_s, 0.95)
+
+
+def collect_network(
+    nodes: Iterable[DeviceNode],
+    trace: Optional[TraceLog] = None,
+    since: float = float("-inf"),
+) -> NetworkSummary:
+    """Aggregate stack counters (+ latencies from the trace if given)."""
+    sent = delivered = forwarded = dropped = 0
+    for node in nodes:
+        stats = node.stack.stats
+        sent += stats.datagrams_sent
+        delivered += stats.datagrams_delivered
+        forwarded += stats.datagrams_forwarded
+        dropped += (
+            stats.datagrams_dropped_no_route
+            + stats.datagrams_dropped_ttl
+            + stats.datagrams_dropped_link
+        )
+    latencies: List[float] = []
+    if trace is not None:
+        latencies = [
+            record.data["latency"]
+            for record in trace.query("net.delivered", since=since)
+        ]
+    return NetworkSummary(
+        sent=sent, delivered=delivered,
+        forwarded=forwarded, dropped=dropped,
+        latencies_s=latencies,
+    )
+
+
+@dataclass
+class EnergySummary:
+    """Per-node charge/duty-cycle over a window."""
+
+    node_id: int
+    duty_cycle: float
+    average_current_ma: float
+    projected_lifetime_days: float
+
+
+def collect_energy(
+    nodes: Iterable[DeviceNode], now: float, skip_root: bool = True
+) -> List[EnergySummary]:
+    """Energy summaries for a population (roots excluded by default —
+    they are mains powered)."""
+    summaries = []
+    for node in nodes:
+        if skip_root and node.is_root:
+            continue
+        summaries.append(
+            EnergySummary(
+                node_id=node.node_id,
+                duty_cycle=node.stack.mac.duty_cycle(),
+                average_current_ma=node.energy.average_current_ma(now),
+                projected_lifetime_days=node.energy.projected_lifetime_days(now),
+            )
+        )
+    return summaries
+
+
+def convergence_times(trace: TraceLog, node_count: int,
+                      fraction: float = 0.9) -> Optional[float]:
+    """Time at which ``fraction`` of nodes had first joined the DODAG."""
+    firsts: Dict[int, float] = {}
+    for record in trace.query("rpl.joined"):
+        if record.node is not None and record.node not in firsts:
+            firsts[record.node] = record.time
+    if len(firsts) < math.ceil(fraction * node_count):
+        return None
+    ordered = sorted(firsts.values())
+    return ordered[math.ceil(fraction * node_count) - 1]

@@ -1,0 +1,78 @@
+"""ASCII tables and CSV output for benchmark results."""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human-oriented scalar formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        if magnitude >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def ascii_table(
+    rows: Sequence[Dict[str, Any]],
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [
+        [format_value(row.get(column, "")) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path: str, rows: Sequence[Dict[str, Any]]) -> None:
+    """Persist sweep rows for external plotting."""
+    if not rows:
+        return
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,198 @@
+"""IIoTSystem: Fig. 1 of the paper, assembled and runnable.
+
+The three logical tiers:
+
+- **sensing and actuation** — :class:`~repro.devices.node.DeviceNode`
+  instances on a shared medium, built from a
+  :class:`~repro.deployment.topology.Topology`;
+- **application logic** — the border router's services: the middleware
+  :class:`~repro.middleware.gateway.Gateway`, aggregation roots, remote
+  controllers;
+- **data storage** — an in-memory time-series store fed by the
+  application tier (a real deployment would put a historian here; the
+  substitution preserves the interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.deployment.topology import Topology
+from repro.devices.node import DeviceNode
+from repro.devices.platform import CLASS_1_MOTE, CLASS_2_GATEWAY, PlatformProfile
+from repro.middleware.gateway import Gateway
+from repro.net.rpl.dodag import RplState
+from repro.net.stack import StackConfig
+from repro.radio.medium import Medium
+from repro.radio.propagation import LinkQualityModel, UnitDiskModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """How to materialize a topology into a running system."""
+
+    stack: StackConfig = field(default_factory=StackConfig)
+    node_platform: PlatformProfile = CLASS_1_MOTE
+    root_platform: PlatformProfile = CLASS_2_GATEWAY
+    trace_enabled: bool = True
+
+
+class TimeSeriesStore:
+    """The data-storage tier: named (time, value) series."""
+
+    def __init__(self) -> None:
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def append(self, name: str, time: float, value: float) -> None:
+        """Record one point."""
+        self.series.setdefault(name, []).append((time, value))
+
+    def query(self, name: str, since: float = float("-inf"),
+              until: float = float("inf")) -> List[Tuple[float, float]]:
+        """Points of one series inside a time window."""
+        return [
+            (t, v) for t, v in self.series.get(name, [])
+            if since <= t <= until
+        ]
+
+    def latest(self, name: str) -> Optional[Tuple[float, float]]:
+        points = self.series.get(name)
+        return points[-1] if points else None
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+class IIoTSystem:
+    """A complete industrial IoT system over a simulated deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        trace: TraceLog,
+        topology: Topology,
+        config: SystemConfig,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.trace = trace
+        self.topology = topology
+        self.config = config
+        self.nodes: Dict[int, DeviceNode] = {}
+        self.storage = TimeSeriesStore()
+        self._gateway: Optional[Gateway] = None
+        self._activated: set = set()
+        self._build_nodes()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        config: Optional[SystemConfig] = None,
+        link_model: Optional[LinkQualityModel] = None,
+        seed: int = 0,
+    ) -> "IIoTSystem":
+        """Materialize a topology into an (unstarted) system."""
+        config = config if config is not None else SystemConfig()
+        sim = Simulator(seed=seed)
+        trace = TraceLog(enabled=config.trace_enabled)
+        model = link_model if link_model is not None else UnitDiskModel(radius_m=25.0)
+        medium = Medium(sim, model, trace)
+        return cls(sim, medium, trace, topology, config)
+
+    def _build_nodes(self) -> None:
+        for node_id in self.topology.node_ids():
+            is_root = node_id == self.topology.root_id
+            platform = (
+                self.config.root_platform if is_root
+                else self.config.node_platform
+            )
+            self.nodes[node_id] = DeviceNode(
+                self.sim, self.medium, node_id,
+                self.topology.positions[node_id],
+                stack_config=self.config.stack,
+                platform=platform,
+                is_root=is_root,
+                trace=self.trace,
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> DeviceNode:
+        """The border router."""
+        return self.nodes[self.topology.root_id]
+
+    def start(self, node_ids: Optional[List[int]] = None) -> None:
+        """Activate nodes (all, or a rollout stage's subset).
+
+        The root activates with the first call regardless of subset —
+        nothing joins a DODAG without its root.
+        """
+        targets = node_ids if node_ids is not None else self.topology.node_ids()
+        if self.topology.root_id not in self._activated:
+            self.root.start()
+            self._activated.add(self.topology.root_id)
+        for node_id in targets:
+            if node_id in self._activated:
+                continue
+            self.nodes[node_id].start()
+            self._activated.add(node_id)
+
+    def activate(self, node_id: int) -> None:
+        """Activate one node (rollout callback form)."""
+        self.start([node_id])
+
+    def run(self, duration_s: float) -> None:
+        """Advance simulated time by ``duration_s``."""
+        self.sim.run(until=self.sim.now + duration_s)
+
+    # ------------------------------------------------------------------
+    # application-logic tier
+    # ------------------------------------------------------------------
+    @property
+    def gateway(self) -> Gateway:
+        """The middleware gateway (created on first access)."""
+        if self._gateway is None:
+            self._gateway = Gateway(self.root.stack, trace=self.trace)
+        return self._gateway
+
+    def add_field_sensors(
+        self, name: str, phenomenon, skip_root: bool = True
+    ) -> None:
+        """Attach one phenomenon-observing sensor to every device."""
+        for node in self.nodes.values():
+            if skip_root and node.is_root:
+                continue
+            node.add_sensor(name, phenomenon)
+
+    # ------------------------------------------------------------------
+    # health introspection
+    # ------------------------------------------------------------------
+    def joined_fraction(self) -> float:
+        """Fraction of activated non-root nodes joined to the DODAG."""
+        members = [
+            self.nodes[nid] for nid in self._activated
+            if nid != self.topology.root_id
+        ]
+        if not members:
+            return 1.0
+        joined = sum(
+            1 for node in members
+            if node.stack.rpl.state is RplState.JOINED
+        )
+        return joined / len(members)
+
+    def converged(self, threshold: float = 1.0) -> bool:
+        return self.joined_fraction() >= threshold
+
+    def active_nodes(self) -> List[DeviceNode]:
+        return [self.nodes[nid] for nid in sorted(self._activated)]

@@ -1,0 +1,150 @@
+"""Set CRDTs: G-Set, 2P-Set, OR-Set."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Set, Tuple
+
+from repro.crdt.base import StateCrdt
+
+_tag_counter = itertools.count(1)
+
+
+class GSet(StateCrdt):
+    """Grow-only set."""
+
+    def __init__(self) -> None:
+        self.items: Set[Any] = set()
+
+    def add(self, item: Any) -> None:
+        self.items.add(item)
+
+    def merge(self, other: StateCrdt) -> bool:
+        self._require_same_type(other)
+        assert isinstance(other, GSet)
+        before = len(self.items)
+        self.items |= other.items
+        return len(self.items) != before
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self.items)
+
+    def copy(self) -> "GSet":
+        clone = GSet()
+        clone.items = set(self.items)
+        return clone
+
+    def size_bytes(self) -> int:
+        return 4 + 8 * len(self.items)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.items
+
+
+class TwoPhaseSet(StateCrdt):
+    """Add + remove set where removal is final (tombstones)."""
+
+    def __init__(self) -> None:
+        self.added = GSet()
+        self.removed = GSet()
+
+    def add(self, item: Any) -> None:
+        if item in self.removed:
+            raise ValueError(f"{item!r} was removed; 2P-Set removal is final")
+        self.added.add(item)
+
+    def remove(self, item: Any) -> None:
+        if item not in self.added:
+            raise KeyError(item)
+        self.removed.add(item)
+
+    def merge(self, other: StateCrdt) -> bool:
+        self._require_same_type(other)
+        assert isinstance(other, TwoPhaseSet)
+        changed_a = self.added.merge(other.added)
+        changed_r = self.removed.merge(other.removed)
+        return changed_a or changed_r
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self.added.items - self.removed.items)
+
+    def copy(self) -> "TwoPhaseSet":
+        clone = TwoPhaseSet()
+        clone.added = self.added.copy()
+        clone.removed = self.removed.copy()
+        return clone
+
+    def size_bytes(self) -> int:
+        return self.added.size_bytes() + self.removed.size_bytes()
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.added.items and item not in self.removed.items
+
+
+class ORSet(StateCrdt):
+    """Observed-remove set: concurrent add wins over remove.
+
+    Every add carries a unique tag; a remove tombstones only the tags it
+    has *observed*, so an add concurrent with the remove survives — the
+    semantics the paper's "decentralized resolution of potentially
+    conflicting updates" needs for things like active-alarm sets.
+    """
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+        #: item -> live tags.
+        self.entries: Dict[Any, Set[Tuple[int, int]]] = {}
+        #: tombstoned tags.
+        self.tombstones: Set[Tuple[int, int]] = set()
+
+    def add(self, item: Any) -> None:
+        tag = (self.replica_id, next(_tag_counter))
+        self.entries.setdefault(item, set()).add(tag)
+
+    def remove(self, item: Any) -> None:
+        tags = self.entries.pop(item, set())
+        self.tombstones |= tags
+
+    def merge(self, other: StateCrdt) -> bool:
+        self._require_same_type(other)
+        assert isinstance(other, ORSet)
+        changed = False
+        if not other.tombstones <= self.tombstones:
+            self.tombstones |= other.tombstones
+            changed = True
+        for item, tags in other.entries.items():
+            live = tags - self.tombstones
+            mine = self.entries.get(item, set())
+            merged = (mine | live) - self.tombstones
+            if merged != mine:
+                if merged:
+                    self.entries[item] = merged
+                else:
+                    self.entries.pop(item, None)
+                changed = True
+        # Drop any of our tags newly tombstoned by the merge.
+        for item in list(self.entries):
+            live = self.entries[item] - self.tombstones
+            if live != self.entries[item]:
+                changed = True
+                if live:
+                    self.entries[item] = live
+                else:
+                    del self.entries[item]
+        return changed
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self.entries)
+
+    def copy(self) -> "ORSet":
+        clone = ORSet(self.replica_id)
+        clone.entries = {item: set(tags) for item, tags in self.entries.items()}
+        clone.tombstones = set(self.tombstones)
+        return clone
+
+    def size_bytes(self) -> int:
+        tags = sum(len(t) for t in self.entries.values())
+        return 4 + 10 * tags + 6 * len(self.tombstones)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.entries

@@ -1,0 +1,28 @@
+"""Deployment modelling: topologies and incremental rollout (§IV).
+
+Sensing/actuation points are *placed by the application*, not by the
+software architect — topologies here encode that: grids and buildings
+for structured plants, clustered layouts for construction sites, and
+rollout plans that grow a deployment by orders of magnitude in stages.
+"""
+
+from repro.deployment.topology import (
+    Topology,
+    building_topology,
+    clustered_site_topology,
+    grid_topology,
+    line_topology,
+    random_topology,
+)
+from repro.deployment.rollout import RolloutPlan, RolloutStage
+
+__all__ = [
+    "RolloutPlan",
+    "RolloutStage",
+    "Topology",
+    "building_topology",
+    "clustered_site_topology",
+    "grid_topology",
+    "line_topology",
+    "random_topology",
+]

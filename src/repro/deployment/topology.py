@@ -1,0 +1,166 @@
+"""Topology generators.
+
+A :class:`Topology` is node id → position with a designated border
+router.  Generators cover the deployment shapes the paper's scenarios
+imply: lines (pipelines), grids (plant floors), uniform random fields,
+clustered construction sites, and multi-floor buildings projected onto
+the plane.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class Topology:
+    """Node placements plus the border-router designation."""
+
+    positions: Dict[int, Position]
+    root_id: int = 0
+    name: str = "topology"
+
+    def __post_init__(self) -> None:
+        if self.root_id not in self.positions:
+            raise ValueError(f"root {self.root_id} has no position")
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.positions)
+
+    def connectivity_graph(self, radio_range_m: float) -> "nx.Graph":
+        """Disk-model connectivity graph at the given range."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.positions)
+        items = list(self.positions.items())
+        for i, (a, pa) in enumerate(items):
+            for b, pb in items[i + 1:]:
+                if math.dist(pa, pb) <= radio_range_m:
+                    graph.add_edge(a, b)
+        return graph
+
+    def is_connected(self, radio_range_m: float) -> bool:
+        """Whether every node can reach the root at the given range."""
+        graph = self.connectivity_graph(radio_range_m)
+        return nx.is_connected(graph) if graph.number_of_nodes() > 0 else True
+
+    def network_depth(self, radio_range_m: float) -> int:
+        """Hop eccentricity of the root (the diameter that matters)."""
+        graph = self.connectivity_graph(radio_range_m)
+        lengths = nx.single_source_shortest_path_length(graph, self.root_id)
+        return max(lengths.values()) if lengths else 0
+
+
+def line_topology(n: int, spacing_m: float = 20.0) -> Topology:
+    """A pipeline: nodes in a row, root at one end."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    positions = {i: (i * spacing_m, 0.0) for i in range(n)}
+    return Topology(positions, root_id=0, name=f"line-{n}")
+
+
+def grid_topology(side: int, spacing_m: float = 20.0) -> Topology:
+    """A plant floor: ``side × side`` grid, root in a corner."""
+    if side < 1:
+        raise ValueError("side must be >= 1")
+    positions = {}
+    node_id = 0
+    for y in range(side):
+        for x in range(side):
+            positions[node_id] = (x * spacing_m, y * spacing_m)
+            node_id += 1
+    return Topology(positions, root_id=0, name=f"grid-{side}x{side}")
+
+
+def random_topology(
+    n: int,
+    area_m: float,
+    radio_range_m: float = 25.0,
+    seed: int = 0,
+    max_attempts: int = 200,
+) -> Topology:
+    """Uniform random placement, resampled until connected.
+
+    The root sits at the area's corner (a border router is at the
+    building edge, not in the middle of the field).
+    """
+    rng = random.Random(seed)
+    for _attempt in range(max_attempts):
+        positions: Dict[int, Position] = {0: (0.0, 0.0)}
+        for node_id in range(1, n):
+            positions[node_id] = (
+                rng.uniform(0, area_m), rng.uniform(0, area_m)
+            )
+        topology = Topology(positions, root_id=0, name=f"random-{n}")
+        if topology.is_connected(radio_range_m):
+            return topology
+    raise RuntimeError(
+        f"could not sample a connected topology: n={n}, area={area_m}, "
+        f"range={radio_range_m}"
+    )
+
+
+def clustered_site_topology(
+    clusters: int,
+    nodes_per_cluster: int,
+    cluster_spread_m: float = 15.0,
+    site_span_m: float = 120.0,
+    radio_range_m: float = 30.0,
+    seed: int = 0,
+) -> Topology:
+    """A construction site: dense work-area clusters joined by relays.
+
+    Cluster centers are placed on a line across the site with a relay
+    chain guaranteed by the spacing; nodes scatter around their center.
+    """
+    if clusters < 1 or nodes_per_cluster < 1:
+        raise ValueError("clusters and nodes_per_cluster must be >= 1")
+    rng = random.Random(seed)
+    positions: Dict[int, Position] = {0: (0.0, 0.0)}
+    node_id = 1
+    step = min(site_span_m / max(clusters, 1), radio_range_m * 0.8)
+    for cluster in range(clusters):
+        center = ((cluster + 1) * step, rng.uniform(-10.0, 10.0))
+        for _ in range(nodes_per_cluster):
+            positions[node_id] = (
+                center[0] + rng.uniform(-cluster_spread_m, cluster_spread_m),
+                center[1] + rng.uniform(-cluster_spread_m, cluster_spread_m),
+            )
+            node_id += 1
+    return Topology(positions, root_id=0,
+                    name=f"site-{clusters}x{nodes_per_cluster}")
+
+
+def building_topology(
+    floors: int,
+    zones_per_floor: int,
+    zone_spacing_m: float = 18.0,
+    floor_spacing_m: float = 12.0,
+) -> Topology:
+    """An office building: zones along corridors, floors stacked.
+
+    Projected onto the plane with floors as rows; the extra path loss of
+    inter-floor slabs is approximated by the row spacing.
+    """
+    if floors < 1 or zones_per_floor < 1:
+        raise ValueError("floors and zones_per_floor must be >= 1")
+    positions: Dict[int, Position] = {0: (0.0, 0.0)}
+    node_id = 1
+    for floor in range(floors):
+        for zone in range(zones_per_floor):
+            positions[node_id] = (
+                (zone + 1) * zone_spacing_m, floor * floor_spacing_m
+            )
+            node_id += 1
+    return Topology(positions, root_id=0,
+                    name=f"building-{floors}f-{zones_per_floor}z")

@@ -1,0 +1,105 @@
+"""Radio-state energy accounting and battery lifetime projection.
+
+The funnel-effect experiment (E4) and every lifetime claim rest on
+this conversion: the radio records how long it spent in SLEEP / LISTEN /
+TX; the meter multiplies residencies by the platform's current draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.devices.platform import PlatformProfile
+from repro.radio.medium import Radio, RadioState
+
+#: Seconds per hour, for mAh conversions.
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass
+class Battery:
+    """An ideal battery (no self-discharge curve; capacity in mAh)."""
+
+    capacity_mah: float = 2600.0  # two AA cells, roughly
+
+    def validate(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError("capacity_mah must be positive")
+
+    @property
+    def capacity_mas(self) -> float:
+        """Capacity in milliamp-seconds."""
+        return self.capacity_mah * _SECONDS_PER_HOUR
+
+
+class EnergyMeter:
+    """Converts one radio's state residencies into charge and energy.
+
+    The meter is read-only with respect to the radio; call
+    :meth:`charge_consumed_mas` at any simulated time.
+    """
+
+    def __init__(
+        self,
+        radio: Radio,
+        platform: PlatformProfile,
+        battery: Optional[Battery] = None,
+    ) -> None:
+        self.radio = radio
+        self.platform = platform
+        self.battery = battery if battery is not None else Battery()
+        self._baseline: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        self._start_time = 0.0
+
+    def reset(self, now: float) -> None:
+        """Start a fresh accounting window at simulated time ``now``."""
+        self._baseline = self.radio.flush_state_time()
+        self._start_time = now
+
+    def state_seconds(self) -> Dict[RadioState, float]:
+        """Per-state residency since the last reset."""
+        current = self.radio.flush_state_time()
+        return {
+            state: current[state] - self._baseline[state] for state in RadioState
+        }
+
+    def charge_consumed_mas(self) -> float:
+        """Charge drawn since the last reset, in milliamp-seconds."""
+        times = self.state_seconds()
+        return (
+            times[RadioState.TX] * self.platform.tx_current_ma
+            + times[RadioState.LISTEN] * self.platform.rx_current_ma
+            + times[RadioState.SLEEP] * self.platform.sleep_current_ma
+        )
+
+    def energy_joules(self) -> float:
+        """Energy drawn since the last reset."""
+        return self.charge_consumed_mas() / 1000.0 * self.platform.supply_voltage_v
+
+    def average_current_ma(self, now: float) -> float:
+        """Mean current over the accounting window."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.charge_consumed_mas() / elapsed
+
+    def projected_lifetime_days(self, now: float) -> float:
+        """Battery life extrapolated from the window's mean current.
+
+        Mains-powered platforms report infinity — border routers do not
+        die of battery, which is exactly why the funnel effect around
+        them hurts the *battery-powered* nodes nearby.
+        """
+        if self.platform.mains_powered:
+            return float("inf")
+        current = self.average_current_ma(now)
+        if current <= 0:
+            return float("inf")
+        return self.battery.capacity_mah / current / 24.0
+
+    def depleted(self, now: float) -> bool:
+        """True once the accumulated charge exceeds battery capacity."""
+        if self.platform.mains_powered:
+            return False
+        return self.charge_consumed_mas() >= self.battery.capacity_mas

@@ -1,0 +1,128 @@
+"""Synthetic physical phenomena for sensors to observe.
+
+Real deployments sense real fields; the reproduction substitutes
+deterministic synthetic fields (substitution table in DESIGN.md).  A
+:class:`Phenomenon` maps ``(time, position)`` to a value, which gives
+spatially-coherent readings — essential for the in-network aggregation
+experiments, where MIN/MAX/AVG over a coherent field is the whole point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Protocol, Tuple
+
+Position = Tuple[float, float]
+
+
+class Phenomenon(Protocol):
+    """A scalar field over space and time."""
+
+    def value_at(self, time: float, position: Position) -> float:
+        """Field value at ``position`` at simulated ``time``."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformField:
+    """The same value everywhere — the simplest test field."""
+
+    value: float = 20.0
+
+    def value_at(self, time: float, position: Position) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DiurnalField:
+    """A sinusoidal daily cycle with a linear spatial gradient.
+
+    Models ambient temperature: warm afternoons, cold nights, and a
+    gradient across the site (e.g. the sunny side of a building).  The
+    paper's §II-B notes devices face "low and high temperatures,
+    sometimes in sub-diurnal cycles" — this is that cycle.
+    """
+
+    mean: float = 18.0
+    amplitude: float = 7.0
+    period_s: float = 86_400.0
+    #: Value increase per meter along x.
+    gradient_per_m: float = 0.01
+    phase_s: float = 0.0
+
+    def value_at(self, time: float, position: Position) -> float:
+        cycle = math.sin(2 * math.pi * (time + self.phase_s) / self.period_s)
+        return self.mean + self.amplitude * cycle + self.gradient_per_m * position[0]
+
+
+class RandomWalkField:
+    """A temporally-correlated random walk, identical across space.
+
+    Values are generated lazily per time step and cached, so repeated
+    queries are deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        start: float = 50.0,
+        step_sigma: float = 0.5,
+        step_s: float = 10.0,
+        seed: int = 0,
+        lower: float = float("-inf"),
+        upper: float = float("inf"),
+    ) -> None:
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        self.start = start
+        self.step_sigma = step_sigma
+        self.step_s = step_s
+        self.lower = lower
+        self.upper = upper
+        self._rng = random.Random(seed)
+        self._values: List[float] = [start]
+
+    def value_at(self, time: float, position: Position) -> float:
+        index = max(0, int(time / self.step_s))
+        while len(self._values) <= index:
+            step = self._rng.gauss(0.0, self.step_sigma)
+            value = self._values[-1] + step
+            self._values.append(min(max(value, self.lower), self.upper))
+        return self._values[index]
+
+
+@dataclass(frozen=True)
+class StepEventField:
+    """A base level with a step change during an event window.
+
+    Models alarm conditions (a leak, a hot spot) that the control-loop
+    and safety experiments must detect and react to.
+    """
+
+    base: float = 0.0
+    event_value: float = 100.0
+    event_start_s: float = float("inf")
+    event_end_s: float = float("inf")
+    #: Radius around the epicenter affected by the event; inf = global.
+    epicenter: Position = (0.0, 0.0)
+    radius_m: float = float("inf")
+
+    def value_at(self, time: float, position: Position) -> float:
+        if not self.event_start_s <= time < self.event_end_s:
+            return self.base
+        dx = position[0] - self.epicenter[0]
+        dy = position[1] - self.epicenter[1]
+        if math.hypot(dx, dy) > self.radius_m:
+            return self.base
+        return self.event_value
+
+
+@dataclass
+class CompositeField:
+    """Sum of component fields (e.g. diurnal cycle + event spike)."""
+
+    components: List[Phenomenon] = field(default_factory=list)
+
+    def value_at(self, time: float, position: Position) -> float:
+        return sum(c.value_at(time, position) for c in self.components)

@@ -1,0 +1,89 @@
+"""Hardware platform profiles (RFC 7228 device classes).
+
+The paper stresses that sensing-and-actuation-layer platforms sit *on
+the lower extreme of the spectrum* of computing capability.  RFC 7228
+formalizes this as Class 0/1/2 constrained devices; the profiles below
+carry the resource envelopes and radio current draws that the energy
+model and the interoperability experiments consume.  Current figures
+follow the CC2420/TelosB lineage of the systems the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Static description of one device platform."""
+
+    name: str
+    #: RFC 7228 class: 0 (<<10 KiB RAM), 1 (~10 KiB), 2 (~50 KiB+).
+    device_class: int
+    ram_kib: int
+    flash_kib: int
+    #: Radio current draws.
+    tx_current_ma: float
+    rx_current_ma: float
+    sleep_current_ua: float
+    cpu_active_current_ma: float
+    supply_voltage_v: float
+    #: Whether the device is mains powered (border routers usually are).
+    mains_powered: bool = False
+
+    def validate(self) -> None:
+        if self.device_class not in (0, 1, 2):
+            raise ValueError("device_class must be 0, 1, or 2")
+        if min(self.tx_current_ma, self.rx_current_ma, self.sleep_current_ua) < 0:
+            raise ValueError("currents must be non-negative")
+
+    @property
+    def sleep_current_ma(self) -> float:
+        return self.sleep_current_ua / 1000.0
+
+
+#: Coin-cell sensor tag: barely enough RAM for a MAC and one app.
+CLASS_0_MOTE = PlatformProfile(
+    name="class0-tag",
+    device_class=0,
+    ram_kib=4,
+    flash_kib=48,
+    tx_current_ma=17.4,
+    rx_current_ma=18.8,
+    sleep_current_ua=5.1,
+    cpu_active_current_ma=1.8,
+    supply_voltage_v=3.0,
+)
+
+#: TelosB-class mote: the workhorse of the cited sensornet literature.
+CLASS_1_MOTE = PlatformProfile(
+    name="class1-mote",
+    device_class=1,
+    ram_kib=10,
+    flash_kib=48,
+    tx_current_ma=17.4,
+    rx_current_ma=18.8,
+    sleep_current_ua=5.1,
+    cpu_active_current_ma=1.8,
+    supply_voltage_v=3.0,
+)
+
+#: Mains-powered border router / gateway.
+CLASS_2_GATEWAY = PlatformProfile(
+    name="class2-gateway",
+    device_class=2,
+    ram_kib=256,
+    flash_kib=2048,
+    tx_current_ma=17.4,
+    rx_current_ma=18.8,
+    sleep_current_ua=20.0,
+    cpu_active_current_ma=40.0,
+    supply_voltage_v=3.3,
+    mains_powered=True,
+)
+
+PLATFORMS: Dict[str, PlatformProfile] = {
+    profile.name: profile
+    for profile in (CLASS_0_MOTE, CLASS_1_MOTE, CLASS_2_GATEWAY)
+}

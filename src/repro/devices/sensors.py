@@ -1,0 +1,94 @@
+"""Sensors: noisy, drifting, occasionally faulty observers of phenomena.
+
+A sensor is *placed*: its position is fixed by the phenomenon it must
+observe (the paper's §IV-A point that software placement is not free at
+this layer).  Fault modes — stuck-at, offset drift, dead — feed the
+maintainability experiment's automated-diagnosis half (§V-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.devices.phenomena import Phenomenon
+from repro.sim.kernel import Simulator
+
+
+class SensorFault(enum.Enum):
+    """Injectable sensor fault modes."""
+
+    NONE = "none"
+    STUCK = "stuck"          # repeats the last good value forever
+    OFFSET = "offset"        # systematic bias (miscalibration)
+    DEAD = "dead"            # returns None
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Measurement characteristics."""
+
+    noise_sigma: float = 0.1
+    quantization: float = 0.01
+    #: Slow calibration drift in value units per day.
+    drift_per_day: float = 0.0
+    offset_fault_bias: float = 5.0
+
+    def validate(self) -> None:
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if self.quantization < 0:
+            raise ValueError("quantization must be non-negative")
+
+
+class Sensor:
+    """One measurement channel on a device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        phenomenon: Phenomenon,
+        position: Tuple[float, float],
+        config: Optional[SensorConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.phenomenon = phenomenon
+        self.position = position
+        self.config = config if config is not None else SensorConfig()
+        self.config.validate()
+        self.fault = SensorFault.NONE
+        self.readings_taken = 0
+        self._last_good: Optional[float] = None
+        self._rng = sim.substream(f"sensor.{name}.{position}")
+
+    def inject_fault(self, fault: SensorFault) -> None:
+        """Switch the sensor into a fault mode (diagnosis experiments)."""
+        self.fault = fault
+
+    def clear_fault(self) -> None:
+        self.fault = SensorFault.NONE
+
+    def read(self) -> Optional[float]:
+        """Take one measurement now; None if the sensor is dead."""
+        self.readings_taken += 1
+        if self.fault is SensorFault.DEAD:
+            return None
+        if self.fault is SensorFault.STUCK:
+            return self._last_good
+        truth = self.phenomenon.value_at(self.sim.now, self.position)
+        value = truth + self._rng.gauss(0.0, self.config.noise_sigma)
+        value += self.config.drift_per_day * (self.sim.now / 86_400.0)
+        if self.fault is SensorFault.OFFSET:
+            value += self.config.offset_fault_bias
+        if self.config.quantization > 0:
+            steps = round(value / self.config.quantization)
+            value = steps * self.config.quantization
+        self._last_good = value
+        return value
+
+    def ground_truth(self) -> float:
+        """The noiseless field value (for experiment error metrics)."""
+        return self.phenomenon.value_at(self.sim.now, self.position)

@@ -1,0 +1,21 @@
+"""Fault injection for the dependability experiments (paper §V).
+
+- :mod:`repro.faults.injector` — scripted fault scenarios: node
+  crash/recover at chosen times, sensor faults, border-router kill;
+- :mod:`repro.faults.failures` — stochastic MTBF/MTTR failure processes
+  driving the reliability and availability metrics;
+- :mod:`repro.faults.partitions` — geometric network partitions through
+  the medium's link filter, and their healing.
+"""
+
+from repro.faults.failures import FailureProcess, FailureProcessConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.partitions import GeometricPartition, PartitionController
+
+__all__ = [
+    "FailureProcess",
+    "FailureProcessConfig",
+    "FaultInjector",
+    "GeometricPartition",
+    "PartitionController",
+]

@@ -1,0 +1,122 @@
+"""Stochastic failure/repair processes.
+
+Each node fails with exponential inter-failure times (mean
+``mtbf_s``) and repairs after exponential repair times (mean
+``mttr_s``) — the textbook availability model, driving measured MTTF and
+availability in experiments E7/E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.devices.node import DeviceNode
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class FailureProcessConfig:
+    """Failure/repair statistics."""
+
+    mtbf_s: float = 4 * 3600.0
+    mttr_s: float = 600.0
+    #: Protect the border router from random failure (experiments that
+    #: target it kill it explicitly instead).
+    spare_root: bool = True
+
+    def validate(self) -> None:
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+
+
+class FailureProcess:
+    """Runs crash/repair cycles over a node population."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Dict[int, DeviceNode],
+        config: Optional[FailureProcessConfig] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.nodes = nodes
+        self.config = config if config is not None else FailureProcessConfig()
+        self.config.validate()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.failures = 0
+        self.repairs = 0
+        #: (node, down_at, up_at) intervals for availability accounting.
+        self.downtime: List[Tuple[int, float, float]] = []
+        self._down_since: Dict[int, float] = {}
+        self._rng = sim.substream("faults.process")
+        self._running = False
+
+    def start(self) -> None:
+        """Arm a first failure for every eligible node."""
+        if self._running:
+            return
+        self._running = True
+        for node in self.nodes.values():
+            if self.config.spare_root and node.is_root:
+                continue
+            self._arm_failure(node)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _arm_failure(self, node: DeviceNode) -> None:
+        delay = self._rng.expovariate(1.0 / self.config.mtbf_s)
+        self.sim.schedule(delay, lambda: self._fail(node))
+
+    def _fail(self, node: DeviceNode) -> None:
+        if not self._running or not node.alive:
+            return
+        node.fail()
+        self.failures += 1
+        self._down_since[node.node_id] = self.sim.now
+        self.trace.emit(self.sim.now, "fault.random_crash", node=node.node_id)
+        repair_delay = self._rng.expovariate(1.0 / self.config.mttr_s)
+        self.sim.schedule(repair_delay, lambda: self._repair(node))
+
+    def _repair(self, node: DeviceNode) -> None:
+        if not self._running:
+            return
+        node.recover()
+        self.repairs += 1
+        down_at = self._down_since.pop(node.node_id, self.sim.now)
+        self.downtime.append((node.node_id, down_at, self.sim.now))
+        self.trace.emit(self.sim.now, "fault.random_repair", node=node.node_id)
+        self._arm_failure(node)
+
+    # ------------------------------------------------------------------
+    def node_availability(self, node_id: int, window_s: float,
+                          now: float) -> float:
+        """Fraction of the window the node hardware was up."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        start = now - window_s
+        down = 0.0
+        for nid, down_at, up_at in self.downtime:
+            if nid != node_id:
+                continue
+            down += max(0.0, min(up_at, now) - max(down_at, start))
+        still_down = self._down_since.get(node_id)
+        if still_down is not None:
+            down += max(0.0, now - max(still_down, start))
+        return 1.0 - down / window_s
+
+    def fleet_availability(self, window_s: float, now: float) -> float:
+        """Mean hardware availability across the population."""
+        eligible = [
+            node.node_id for node in self.nodes.values()
+            if not (self.config.spare_root and node.is_root)
+        ]
+        if not eligible:
+            return 1.0
+        return sum(
+            self.node_availability(nid, window_s, now) for nid in eligible
+        ) / len(eligible)

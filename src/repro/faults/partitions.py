@@ -1,0 +1,84 @@
+"""Network partitions (paper §V-C, ref [44]).
+
+A partition is modelled as a physical cut: links crossing a geometric
+boundary stop carrying anything.  This is what happens when a forklift
+parks in front of the relay shelf or a firewall change kills the
+backhaul — connectivity is severed while both sides keep running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.radio.medium import Medium
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class GeometricPartition:
+    """A vertical cut: nodes with x < ``cut_x`` vs the rest."""
+
+    cut_x: float
+
+    def side(self, position: Tuple[float, float]) -> int:
+        return 0 if position[0] < self.cut_x else 1
+
+
+class PartitionController:
+    """Applies and heals partitions on a medium."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._sides: Optional[Dict[int, int]] = None
+        self.partitions_applied = 0
+
+    @property
+    def partitioned(self) -> bool:
+        return self._sides is not None
+
+    def apply(self, partition: GeometricPartition) -> Dict[int, int]:
+        """Cut every link crossing the boundary; returns node → side."""
+        sides = {
+            node_id: partition.side(radio.position)
+            for node_id, radio in self.medium.radios.items()
+        }
+        self._sides = sides
+        self.medium.set_link_filter(
+            lambda a, b: sides.get(a) != sides.get(b)
+        )
+        self.partitions_applied += 1
+        self.trace.emit(self.sim.now, "partition.applied", node=None,
+                        left=sum(1 for s in sides.values() if s == 0),
+                        right=sum(1 for s in sides.values() if s == 1))
+        return sides
+
+    def heal(self) -> None:
+        """Restore full connectivity."""
+        self._sides = None
+        self.medium.set_link_filter(None)
+        self.trace.emit(self.sim.now, "partition.healed", node=None)
+
+    def apply_at(self, time: float, partition: GeometricPartition,
+                 heal_after: Optional[float] = None) -> None:
+        """Schedule a partition (and optional heal) on the kernel."""
+        self.sim.schedule_at(time, lambda: self.apply(partition))
+        if heal_after is not None:
+            self.sim.schedule_at(time + heal_after, self.heal)
+
+    def isolated_sides(self) -> List[Set[int]]:
+        """Current side membership (empty when not partitioned)."""
+        if self._sides is None:
+            return []
+        groups: Dict[int, Set[int]] = {}
+        for node_id, side in self._sides.items():
+            groups.setdefault(side, set()).add(node_id)
+        return list(groups.values())

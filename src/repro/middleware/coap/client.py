@@ -1,0 +1,153 @@
+"""CoAP client: token-matched request/response and Observe."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.middleware.coap.codes import CoapCode, CoapType
+from repro.middleware.coap.message import CoapMessage
+from repro.middleware.coap.transport import CoapTransport
+from repro.sim.timers import Timer
+
+ResponseCallback = Callable[[Optional[CoapMessage]], None]
+
+
+@dataclass
+class PendingRequest:
+    """An in-flight request awaiting its (first) response."""
+
+    dest: int
+    message: CoapMessage
+    callback: ResponseCallback
+    observe_callback: Optional[Callable[[CoapMessage], None]] = None
+    timer: Optional[Timer] = None
+    responded: bool = False
+
+
+class CoapClient:
+    """Issues requests over a transport; responses return by token."""
+
+    #: Give the server this long end-to-end before reporting failure.
+    DEFAULT_TIMEOUT_S = 60.0
+
+    def __init__(self, transport: CoapTransport) -> None:
+        self.transport = transport
+        self.sim = transport.sim
+        self._pending: Dict[int, PendingRequest] = {}
+        self._observations: Dict[int, PendingRequest] = {}
+        self.requests_sent = 0
+        self.responses_received = 0
+        self.timeouts = 0
+        previous = transport.on_message
+
+        def chained(src: int, message: CoapMessage) -> None:
+            if message.code.is_response:
+                self._handle_response(src, message)
+            elif previous is not None:
+                previous(src, message)
+
+        transport.on_message = chained
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        dest: int,
+        code: CoapCode,
+        path: str,
+        callback: ResponseCallback,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        confirmable: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> CoapMessage:
+        """Send a request; ``callback(response_or_None)`` fires once."""
+        message = CoapMessage.request(
+            code, path, payload, payload_bytes, confirmable=confirmable
+        )
+        pending = PendingRequest(dest=dest, message=message, callback=callback)
+        self._pending[message.token] = pending
+        timeout = timeout_s if timeout_s is not None else self.DEFAULT_TIMEOUT_S
+        pending.timer = Timer(self.sim, lambda: self._timeout(message.token))
+        pending.timer.start(timeout)
+        self.requests_sent += 1
+        self.transport.send(
+            dest, message, on_fail=lambda: self._timeout(message.token)
+        )
+        return message
+
+    def get(self, dest: int, path: str, callback: ResponseCallback, **kw) -> CoapMessage:
+        """Convenience GET."""
+        return self.request(dest, CoapCode.GET, path, callback, **kw)
+
+    def put(self, dest: int, path: str, payload: Any, payload_bytes: int,
+            callback: ResponseCallback, **kw) -> CoapMessage:
+        """Convenience PUT."""
+        return self.request(
+            dest, CoapCode.PUT, path, callback,
+            payload=payload, payload_bytes=payload_bytes, **kw,
+        )
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        dest: int,
+        path: str,
+        on_notification: Callable[[CoapMessage], None],
+        on_established: Optional[ResponseCallback] = None,
+        timeout_s: Optional[float] = None,
+    ) -> CoapMessage:
+        """Register as an observer; notifications stream to the callback."""
+        message = CoapMessage.request(CoapCode.GET, path, observe=0)
+        pending = PendingRequest(
+            dest=dest,
+            message=message,
+            callback=on_established if on_established is not None else (lambda r: None),
+            observe_callback=on_notification,
+        )
+        self._pending[message.token] = pending
+        timeout = timeout_s if timeout_s is not None else self.DEFAULT_TIMEOUT_S
+        pending.timer = Timer(self.sim, lambda: self._timeout(message.token))
+        pending.timer.start(timeout)
+        self.requests_sent += 1
+        self.transport.send(dest, message,
+                            on_fail=lambda: self._timeout(message.token))
+        return message
+
+    def cancel_observe(self, dest: int, path: str, token: int) -> None:
+        """Deregister an observation (RFC 7641 observe=1)."""
+        self._observations.pop(token, None)
+        message = CoapMessage.request(CoapCode.GET, path, observe=1,
+                                      confirmable=False)
+        self.transport.send(dest, message)
+
+    # ------------------------------------------------------------------
+    def _handle_response(self, src: int, response: CoapMessage) -> None:
+        token = response.token
+        if token is None:
+            return
+        observation = self._observations.get(token)
+        if observation is not None and observation.observe_callback is not None:
+            self.responses_received += 1
+            observation.observe_callback(response)
+            return
+        pending = self._pending.pop(token, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.responses_received += 1
+        if pending.observe_callback is not None and response.code.is_success:
+            # Observation established: future notifications reuse the token.
+            self._observations[token] = pending
+            pending.observe_callback(response)
+        pending.callback(response)
+
+    def _timeout(self, token: int) -> None:
+        pending = self._pending.pop(token, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.timeouts += 1
+        pending.callback(None)

@@ -1,0 +1,57 @@
+"""CoAP message types and codes (RFC 7252 §3, §12.1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CoapType(enum.Enum):
+    """Message-layer types."""
+
+    CON = 0  # confirmable: must be acknowledged
+    NON = 1  # non-confirmable
+    ACK = 2  # acknowledgment (may piggyback a response)
+    RST = 3  # reset: peer could not process
+
+
+class CoapCode(enum.Enum):
+    """Request methods and response codes, as class.detail values."""
+
+    EMPTY = (0, 0)
+    # Requests.
+    GET = (0, 1)
+    POST = (0, 2)
+    PUT = (0, 3)
+    DELETE = (0, 4)
+    # Success responses.
+    CREATED = (2, 1)
+    DELETED = (2, 2)
+    VALID = (2, 3)
+    CHANGED = (2, 4)
+    CONTENT = (2, 5)
+    # Client errors.
+    BAD_REQUEST = (4, 0)
+    UNAUTHORIZED = (4, 1)
+    NOT_FOUND = (4, 4)
+    METHOD_NOT_ALLOWED = (4, 5)
+    # Server errors.
+    INTERNAL_SERVER_ERROR = (5, 0)
+    NOT_IMPLEMENTED = (5, 1)
+    SERVICE_UNAVAILABLE = (5, 3)
+    GATEWAY_TIMEOUT = (5, 4)
+
+    @property
+    def is_request(self) -> bool:
+        return self.value[0] == 0 and self != CoapCode.EMPTY
+
+    @property
+    def is_response(self) -> bool:
+        return self.value[0] in (2, 4, 5)
+
+    @property
+    def is_success(self) -> bool:
+        return self.value[0] == 2
+
+    def __str__(self) -> str:
+        cls, detail = self.value
+        return f"{cls}.{detail:02d} {self.name}"

@@ -1,0 +1,176 @@
+"""CoAP message layer: reliability and deduplication (RFC 7252 §4).
+
+Confirmable messages are retransmitted with exponential backoff until
+acknowledged (or ``MAX_RETRANSMIT`` is exhausted); duplicates are
+rejected by (peer, message id); empty ACKs are generated for confirmable
+messages the upper layer answered separately or not at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.middleware.coap.codes import CoapCode, CoapType
+from repro.middleware.coap.message import CoapMessage
+from repro.net.stack import NetworkStack
+from repro.sim.timers import Timer
+from repro.sim.trace import TraceLog
+
+#: Default CoAP UDP port.
+COAP_PORT = 5683
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """RFC 7252 §4.8 transmission parameters."""
+
+    ack_timeout_s: float = 2.0
+    ack_random_factor: float = 1.5
+    max_retransmit: int = 4
+    #: How long (peer, message id) pairs are remembered for dedup.
+    exchange_lifetime_s: float = 240.0
+
+
+class _PendingCon:
+    """Book-keeping for one unacknowledged confirmable message."""
+
+    __slots__ = ("message", "dest", "retries", "timer", "timeout", "on_fail")
+
+    def __init__(self, message: CoapMessage, dest: int, timeout: float,
+                 timer: Timer, on_fail: Optional[Callable[[], None]]) -> None:
+        self.message = message
+        self.dest = dest
+        self.retries = 0
+        self.timeout = timeout
+        self.timer = timer
+        self.on_fail = on_fail
+
+
+class CoapTransport:
+    """The message layer bound to one node's network stack."""
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        config: Optional[TransportConfig] = None,
+        port: int = COAP_PORT,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.config = config if config is not None else TransportConfig()
+        self.port = port
+        self.trace = trace if trace is not None else stack.trace
+        #: Upper layer: called with (src_node, message).
+        self.on_message: Optional[Callable[[int, CoapMessage], None]] = None
+        self._pending: Dict[Tuple[int, int], _PendingCon] = {}
+        self._seen: Dict[Tuple[int, int], float] = {}
+        self._acked_by_us: Dict[Tuple[int, int], CoapMessage] = {}
+        self._rng = stack.sim.substream(f"coap.{stack.node_id}")
+        self.messages_sent = 0
+        self.retransmissions = 0
+        self.failures = 0
+        stack.bind(port, self._on_datagram)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        message: CoapMessage,
+        on_fail: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Send a message; CONs are tracked until ACKed."""
+        self.messages_sent += 1
+        if message.mtype is CoapType.CON:
+            timeout = self.config.ack_timeout_s * self._rng.uniform(
+                1.0, self.config.ack_random_factor
+            )
+            key = (dest, message.message_id)
+            timer = Timer(self.sim, lambda: self._retransmit(key))
+            pending = _PendingCon(message, dest, timeout, timer, on_fail)
+            self._pending[key] = pending
+            timer.start(timeout)
+        self._transmit(dest, message)
+
+    def _transmit(self, dest: int, message: CoapMessage) -> None:
+        self.stack.send_datagram(
+            dst=dest,
+            dst_port=self.port,
+            payload=message,
+            payload_bytes=message.size_bytes,
+            src_port=self.port,
+        )
+
+    def _retransmit(self, key: Tuple[int, int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:
+            return
+        pending.retries += 1
+        if pending.retries > self.config.max_retransmit:
+            del self._pending[key]
+            self.failures += 1
+            self.trace.emit(self.sim.now, "coap.con_failed",
+                            node=self.stack.node_id, dest=pending.dest)
+            if pending.on_fail is not None:
+                pending.on_fail()
+            return
+        self.retransmissions += 1
+        pending.timeout *= 2.0
+        pending.timer.start(pending.timeout)
+        self._transmit(pending.dest, pending.message)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_datagram(self, datagram) -> None:
+        message = datagram.payload
+        if not isinstance(message, CoapMessage):
+            return
+        src = datagram.src
+        if message.mtype in (CoapType.ACK, CoapType.RST):
+            self._settle(src, message)
+            if message.code is CoapCode.EMPTY:
+                return  # pure message-layer traffic
+        if message.mtype in (CoapType.CON, CoapType.NON):
+            key = (src, message.message_id)
+            now = self.sim.now
+            self._gc_seen(now)
+            if key in self._seen:
+                # Duplicate: re-ACK CONs, swallow.
+                if message.mtype is CoapType.CON:
+                    earlier = self._acked_by_us.get(key)
+                    self.send(src, earlier if earlier is not None else message.ack())
+                return
+            self._seen[key] = now
+        if self.on_message is not None:
+            self.on_message(src, message)
+
+    def _settle(self, src: int, message: CoapMessage) -> None:
+        pending = self._pending.pop((src, message.message_id), None)
+        if pending is not None:
+            pending.timer.cancel()
+            if message.mtype is CoapType.RST and pending.on_fail is not None:
+                pending.on_fail()
+
+    def record_ack(self, src: int, request: CoapMessage, ack: CoapMessage) -> None:
+        """Remember the ACK we produced for a CON so duplicates can be
+        answered identically (RFC 7252 §4.2 idempotent exchange replay)."""
+        self._acked_by_us[(src, request.message_id)] = ack
+
+    def _gc_seen(self, now: float) -> None:
+        if len(self._seen) < 256:
+            return
+        horizon = now - self.config.exchange_lifetime_s
+        for key in [k for k, t in self._seen.items() if t < horizon]:
+            del self._seen[key]
+            self._acked_by_us.pop(key, None)
+
+    def close(self) -> None:
+        """Unbind and cancel all retransmission timers."""
+        for pending in self._pending.values():
+            pending.timer.cancel()
+        self._pending.clear()
+        self.stack.unbind(self.port)

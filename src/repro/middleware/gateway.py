@@ -1,0 +1,228 @@
+"""The integration gateway: one namespace over heterogeneous devices.
+
+Runs on the border router.  Native constrained devices register their
+CoAP resources in the :class:`ResourceDirectory` (the CoRE RD pattern);
+legacy devices are wired in through protocol adapters.  Northbound —
+toward the application-logic tier of Fig. 1 — everything is a uniform
+``read(target, point)`` / ``write(target, point, value)``, which is the
+middleware value proposition §III-B describes and experiment E12
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.middleware.adapters.base import ProtocolAdapter
+from repro.middleware.coap.client import CoapClient
+from repro.middleware.coap.codes import CoapCode
+from repro.middleware.coap.message import CoapMessage
+from repro.middleware.coap.resource import Resource
+from repro.middleware.coap.server import CoapServer
+from repro.middleware.coap.transport import CoapTransport
+from repro.net.stack import NetworkStack
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class RdEntry:
+    """One registered resource of a native device."""
+
+    node: int
+    path: str
+    attributes: Tuple[Tuple[str, str], ...] = ()
+
+
+class ResourceDirectory(Resource):
+    """CoRE-RD-style registry, itself exposed as a CoAP resource.
+
+    Devices POST their resource list to ``/rd``; the application tier
+    queries :meth:`lookup`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("/rd")
+        self.entries: Dict[Tuple[int, str], RdEntry] = {}
+        self.registrations = 0
+
+    def handle_post(self, payload: Any) -> Tuple[CoapCode, Any, int]:
+        if not isinstance(payload, dict) or "node" not in payload:
+            return (CoapCode.BAD_REQUEST, None, 0)
+        node = payload["node"]
+        for path in payload.get("paths", ()):
+            entry = RdEntry(node=node, path=path)
+            self.entries[(node, path)] = entry
+        self.registrations += 1
+        return (CoapCode.CREATED, None, 0)
+
+    def handle_get(self, payload: Any) -> Tuple[CoapCode, Any, int]:
+        listing = [(e.node, e.path) for e in self.entries.values()]
+        return (CoapCode.CONTENT, listing, 4 * len(listing))
+
+    def lookup(self, path_suffix: str = "") -> List[RdEntry]:
+        """All registrations whose path ends with ``path_suffix``."""
+        return [
+            entry for entry in self.entries.values()
+            if entry.path.endswith(path_suffix)
+        ]
+
+    def nodes(self) -> List[int]:
+        return sorted({entry.node for entry in self.entries.values()})
+
+
+class Gateway:
+    """The border router's middleware service."""
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if not stack.is_root:
+            raise ValueError("the gateway must run on the border router")
+        self.stack = stack
+        self.sim = stack.sim
+        self.trace = trace if trace is not None else stack.trace
+        self.transport = CoapTransport(stack)
+        self.server = CoapServer(self.transport)
+        self.client = CoapClient(self.transport)
+        self.directory = ResourceDirectory()
+        self.server.add_resource(self.directory)
+        self.adapters: Dict[str, ProtocolAdapter] = {}
+        self.reads = 0
+        self.writes = 0
+        #: Observe-fed cache: (node, path) -> (value, updated_at).
+        self._cache: Dict[Tuple[int, str], Tuple[Any, float]] = {}
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # southbound attachment
+    # ------------------------------------------------------------------
+    def attach_legacy(self, name: str, adapter: ProtocolAdapter) -> None:
+        """Wire a legacy device in through its protocol adapter."""
+        if name in self.adapters:
+            raise ValueError(f"legacy device {name!r} already attached")
+        self.adapters[name] = adapter
+        self.trace.emit(self.sim.now, "gateway.legacy_attached",
+                        node=self.stack.node_id, name=name,
+                        protocol=adapter.protocol)
+
+    # ------------------------------------------------------------------
+    # northbound uniform access
+    # ------------------------------------------------------------------
+    def targets(self) -> List[str]:
+        """Every addressable target: native node ids and legacy names."""
+        native = [f"native/{node}" for node in self.directory.nodes()]
+        legacy = [f"legacy/{name}" for name in sorted(self.adapters)]
+        return native + legacy
+
+    def read(
+        self,
+        target: str,
+        point: str,
+        callback: Callable[[Optional[float]], None],
+    ) -> None:
+        """Read ``point`` on ``target`` ("native/<id>" or "legacy/<name>")."""
+        self.reads += 1
+        kind, _, ident = target.partition("/")
+        if kind == "legacy":
+            adapter = self._adapter(ident)
+            adapter.read_point(point, callback)
+            return
+        if kind == "native":
+            def on_response(response: Optional[CoapMessage]) -> None:
+                if response is None or not response.code.is_success:
+                    callback(None)
+                else:
+                    callback(response.payload)
+
+            self.client.get(int(ident), point, on_response)
+            return
+        raise ValueError(f"unknown target kind in {target!r}")
+
+    def write(
+        self,
+        target: str,
+        point: str,
+        value: float,
+        callback: Callable[[bool], None],
+    ) -> None:
+        """Write ``value`` to ``point`` on ``target``."""
+        self.writes += 1
+        kind, _, ident = target.partition("/")
+        if kind == "legacy":
+            self._adapter(ident).write_point(point, value, callback)
+            return
+        if kind == "native":
+            def on_response(response: Optional[CoapMessage]) -> None:
+                callback(response is not None and response.code.is_success)
+
+            self.client.put(int(ident), point, value, 4, on_response)
+            return
+        raise ValueError(f"unknown target kind in {target!r}")
+
+    def _adapter(self, name: str) -> ProtocolAdapter:
+        adapter = self.adapters.get(name)
+        if adapter is None:
+            raise KeyError(f"no legacy device {name!r} attached")
+        return adapter
+
+    # ------------------------------------------------------------------
+    # observe-fed caching
+    # ------------------------------------------------------------------
+    def watch(self, node: int, path: str,
+              on_update: Optional[Callable[[Any], None]] = None) -> None:
+        """Subscribe (CoAP Observe) to a native resource and keep its
+        latest value in the northbound cache.
+
+        This moves the read cost off the constrained network: dashboards
+        polling the gateway are served from the cache, while the device
+        only transmits when its state actually changes — the
+        application-tier pattern that complements in-network aggregation.
+        """
+        key = (node, path)
+
+        def on_notification(message: CoapMessage) -> None:
+            self._cache[key] = (message.payload, self.sim.now)
+            self.trace.emit(self.sim.now, "gateway.cache_update",
+                            node=self.stack.node_id, source=node, path=path)
+            if on_update is not None:
+                on_update(message.payload)
+
+        self.client.observe(node, path, on_notification=on_notification)
+
+    def read_cached(
+        self, target: str, point: str, max_age_s: float = float("inf")
+    ) -> Optional[Tuple[Any, float]]:
+        """Serve a native read from the Observe cache.
+
+        Returns ``(value, age_seconds)`` or None when the cache has no
+        fresh-enough entry (fall back to :meth:`read` then).
+        """
+        kind, _, ident = target.partition("/")
+        if kind != "native":
+            return None
+        entry = self._cache.get((int(ident), point))
+        if entry is None:
+            return None
+        value, updated_at = entry
+        age = self.sim.now - updated_at
+        if age > max_age_s:
+            return None
+        self.cache_hits += 1
+        return (value, age)
+
+
+def pairwise_integration_cost(n_systems: int) -> int:
+    """Translators needed for direct pairwise integration: n(n-1)/2."""
+    if n_systems < 0:
+        raise ValueError("n_systems must be non-negative")
+    return n_systems * (n_systems - 1) // 2
+
+
+def middleware_integration_cost(n_systems: int) -> int:
+    """Adapters needed with a common middleware abstraction: n."""
+    if n_systems < 0:
+        raise ValueError("n_systems must be non-negative")
+    return n_systems

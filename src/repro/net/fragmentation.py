@@ -1,0 +1,187 @@
+"""6LoWPAN-style fragmentation (RFC 4944 §5.3).
+
+IEEE 802.15.4 frames carry at most 127 bytes; anything bigger — a CoAP
+payload, a CRDT state, a pull batch — must be fragmented at the
+adaptation layer and reassembled hop by hop.  This module provides the
+mesh-under variant: each hop reassembles the full packet before routing
+it onward (how 6LoWPAN border implementations commonly behave), charging
+the per-fragment header overhead and losing the whole packet if any
+fragment dies.
+
+The module is deliberately self-contained: :class:`FragmentationAdapter`
+wraps a MAC's unicast path, so the stack stays oblivious except for two
+calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.mac.base import MacLayer
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+from repro.sim.trace import TraceLog
+
+#: Maximum MAC payload a single 802.15.4 frame can carry after headers.
+FRAME_MTU_BYTES = 102
+#: FRAG1 header: dispatch + datagram size + tag (RFC 4944).
+FRAG1_HEADER_BYTES = 4
+#: FRAGN header: adds the offset byte.
+FRAGN_HEADER_BYTES = 5
+#: Reassembly buffers are discarded after this long (RFC 4944: 15 s).
+REASSEMBLY_TIMEOUT_S = 15.0
+
+_tag_counter = itertools.count(1)
+
+
+@dataclass
+class Fragment:
+    """One link-layer fragment of a larger payload."""
+
+    tag: int
+    index: int
+    count: int
+    total_bytes: int
+    chunk_bytes: int
+    #: The original payload rides on the *first* fragment only (the
+    #: simulator does not byte-slice objects); the rest carry padding.
+    payload: Any = None
+
+    @property
+    def size_bytes(self) -> int:
+        header = FRAG1_HEADER_BYTES if self.index == 0 else FRAGN_HEADER_BYTES
+        return header + self.chunk_bytes
+
+
+class _ReassemblyBuffer:
+    __slots__ = ("fragments", "count", "payload", "timer")
+
+    def __init__(self, count: int, timer: Timer) -> None:
+        self.fragments: set = set()
+        self.count = count
+        self.payload: Any = None
+        self.timer = timer
+
+
+class FragmentationAdapter:
+    """Fragments oversized unicasts and reassembles inbound fragments."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac: MacLayer,
+        deliver: Callable[[int, Any, int], None],
+        mtu_bytes: int = FRAME_MTU_BYTES,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.mac = mac
+        self.deliver = deliver
+        self.mtu_bytes = mtu_bytes
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._buffers: Dict[Tuple[int, int], _ReassemblyBuffer] = {}
+        self.packets_fragmented = 0
+        self.fragments_sent = 0
+        self.reassemblies = 0
+        self.reassembly_failures = 0
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def needs_fragmentation(self, size_bytes: int) -> bool:
+        return size_bytes > self.mtu_bytes
+
+    def plan(self, total_bytes: int) -> List[int]:
+        """Chunk sizes for a payload of ``total_bytes``."""
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        chunk = self.mtu_bytes - FRAGN_HEADER_BYTES
+        sizes = []
+        remaining = total_bytes
+        while remaining > 0:
+            sizes.append(min(chunk, remaining))
+            remaining -= chunk
+        return sizes
+
+    def send(
+        self,
+        dest: int,
+        payload: Any,
+        size_bytes: int,
+        done: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Send, fragmenting when the payload exceeds the frame MTU.
+
+        ``done(ok)`` fires once: True only if *every* fragment was
+        acknowledged — losing one fragment loses the packet.
+        """
+        if not self.needs_fragmentation(size_bytes):
+            self.mac.send(dest, payload, size_bytes, done=done)
+            return
+        sizes = self.plan(size_bytes)
+        tag = next(_tag_counter)
+        self.packets_fragmented += 1
+        outcome = {"pending": len(sizes), "failed": False}
+
+        def fragment_done(ok: bool) -> None:
+            outcome["pending"] -= 1
+            if not ok:
+                outcome["failed"] = True
+            if outcome["pending"] == 0 and done is not None:
+                done(not outcome["failed"])
+
+        for index, chunk_bytes in enumerate(sizes):
+            fragment = Fragment(
+                tag=tag, index=index, count=len(sizes),
+                total_bytes=size_bytes, chunk_bytes=chunk_bytes,
+                payload=payload if index == 0 else None,
+            )
+            self.fragments_sent += 1
+            self.mac.send(dest, fragment, fragment.size_bytes,
+                          done=fragment_done)
+        self.trace.emit(self.sim.now, "frag.sent", node=self.mac.radio.node_id,
+                        tag=tag, fragments=len(sizes), bytes=size_bytes)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def on_frame(self, src: int, payload: Any, payload_bytes: int) -> bool:
+        """Feed a received MAC payload; returns True when consumed.
+
+        Non-fragment payloads return False so the stack dispatches them
+        normally.
+        """
+        if not isinstance(payload, Fragment):
+            return False
+        key = (src, payload.tag)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            timer = Timer(self.sim, lambda: self._expire(key))
+            buffer = _ReassemblyBuffer(payload.count, timer)
+            self._buffers[key] = buffer
+            timer.start(REASSEMBLY_TIMEOUT_S)
+        buffer.fragments.add(payload.index)
+        if payload.index == 0:
+            buffer.payload = payload.payload
+        if len(buffer.fragments) == buffer.count:
+            buffer.timer.cancel()
+            del self._buffers[key]
+            self.reassemblies += 1
+            self.trace.emit(self.sim.now, "frag.reassembled",
+                            node=self.mac.radio.node_id, src=src,
+                            tag=payload.tag)
+            self.deliver(src, buffer.payload, payload.total_bytes)
+        return True
+
+    def _expire(self, key: Tuple[int, int]) -> None:
+        if key in self._buffers:
+            del self._buffers[key]
+            self.reassembly_failures += 1
+            self.trace.emit(self.sim.now, "frag.timeout",
+                            node=self.mac.radio.node_id, tag=key[1])
+
+    @property
+    def pending_reassemblies(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,38 @@
+"""Medium-access protocols for duty-cycled low-power radios.
+
+The paper's geographic-scalability argument (§IV-B) hinges on MAC-layer
+behaviour: duty-cycled MACs trade idle-listening energy for per-hop
+latency (refs [26], [27]), while tightly synchronized schemes recover
+the latency at a coordination cost (refs [28]–[30]).  This package
+implements one representative of each family:
+
+- :class:`CsmaMac` — always-on CSMA/CA: minimal latency, maximal idle
+  listening (the energy-unconstrained baseline);
+- :class:`LplMac` — low-power listening (BoX-MAC-2 style sender strobe);
+- :class:`RiMac` — receiver-initiated beacons (RI-MAC style);
+- :class:`SyncFloodService` — Glossy/Dozer-style synchronous flooding,
+  modelled at slot granularity.
+"""
+
+from repro.net.mac.analysis import LplExpectations, frame_airtime_s
+from repro.net.mac.base import MacConfigError, MacLayer, MacStats
+from repro.net.mac.csma import CsmaConfig, CsmaMac
+from repro.net.mac.lpl import LplConfig, LplMac
+from repro.net.mac.rimac import RiMacConfig, RiMac
+from repro.net.mac.syncflood import SyncFloodConfig, SyncFloodService
+
+__all__ = [
+    "CsmaConfig",
+    "CsmaMac",
+    "LplConfig",
+    "LplExpectations",
+    "LplMac",
+    "frame_airtime_s",
+    "MacConfigError",
+    "MacLayer",
+    "MacStats",
+    "RiMac",
+    "RiMacConfig",
+    "SyncFloodConfig",
+    "SyncFloodService",
+]

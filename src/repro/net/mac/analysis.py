@@ -1,0 +1,75 @@
+"""Closed-form expectations for duty-cycled MAC behaviour.
+
+Analytic counterparts to the simulated MACs, used two ways:
+
+- **validation** — the test suite checks the simulator against these
+  formulas (a simulator that disagrees with its own arithmetic is
+  broken);
+- **design** — deployments can size wake intervals from the formulas
+  before simulating (the paper's §V-D "configuration requires
+  expertise" problem, made a little smaller).
+
+Model (BoX-MAC/LPL, unicast, clean channel):
+
+- per-hop rendezvous waits for the receiver's next probe: U(0, W), so
+  the expected per-hop latency is ``W/2`` plus transmission serialization;
+- an idle node's duty cycle is ``probe/W`` plus the occasional hold;
+- a phase-locked sender transmits for ~a guard window instead of the
+  rendezvous wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.mac.lpl import LplConfig
+from repro.net.packet import MAC_HEADER_BYTES
+from repro.radio.medium import BITRATE_BPS, PHY_OVERHEAD_BYTES
+
+
+def frame_airtime_s(payload_bytes: int) -> float:
+    """Airtime of one data frame at the 802.15.4 PHY rate."""
+    return (PHY_OVERHEAD_BYTES + MAC_HEADER_BYTES + payload_bytes) * 8 / BITRATE_BPS
+
+
+@dataclass(frozen=True)
+class LplExpectations:
+    """Analytic predictions for one LPL configuration."""
+
+    config: LplConfig
+
+    def expected_hop_latency_s(self, payload_bytes: int = 20) -> float:
+        """Mean unicast one-hop delay: rendezvous + one frame."""
+        return (self.config.wake_interval_s / 2.0
+                + frame_airtime_s(payload_bytes))
+
+    def expected_path_latency_s(self, hops: int,
+                                payload_bytes: int = 20) -> float:
+        """Mean end-to-end delay over ``hops`` independent rendezvous."""
+        if hops < 0:
+            raise ValueError("hops must be >= 0")
+        return hops * self.expected_hop_latency_s(payload_bytes)
+
+    def idle_duty_cycle(self) -> float:
+        """Radio-on fraction of a node with no traffic at all."""
+        return min(1.0, self.config.probe_duration_s
+                   / self.config.wake_interval_s)
+
+    def sender_strobe_airtime_s(self, payload_bytes: int = 20) -> float:
+        """Mean radio-on time a sender pays for one unicast."""
+        if self.config.phase_lock:
+            # Guard window before the wake, plus the exchange itself.
+            return (self.config.phase_guard_s
+                    + self.config.probe_duration_s
+                    + frame_airtime_s(payload_bytes))
+        # Strobes until the receiver's probe: W/2 on average.
+        return (self.config.wake_interval_s / 2.0
+                + frame_airtime_s(payload_bytes))
+
+    def sender_duty_cycle(self, sends_per_second: float,
+                          payload_bytes: int = 20) -> float:
+        """Duty cycle of a node sending unicasts at a steady rate."""
+        if sends_per_second < 0:
+            raise ValueError("sends_per_second must be >= 0")
+        traffic = sends_per_second * self.sender_strobe_airtime_s(payload_bytes)
+        return min(1.0, self.idle_duty_cycle() + traffic)

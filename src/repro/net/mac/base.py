@@ -1,0 +1,284 @@
+"""Common MAC-layer machinery: transmit queue, dedup, statistics.
+
+Concrete MACs implement :meth:`MacLayer._start_job`; the base class owns
+the FIFO transmit queue (one in-flight job at a time, as on real
+single-radio devices), duplicate suppression, and delivery upcalls, so
+protocol differences stay confined to the channel-access logic.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.net.packet import BROADCAST, FrameKind, MacFrame, next_seq
+from repro.radio.medium import Frame, Radio
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+class MacConfigError(ValueError):
+    """Raised for invalid MAC configuration values."""
+
+
+@dataclass
+class MacStats:
+    """Counters every MAC maintains; experiments read these."""
+
+    enqueued: int = 0
+    queue_drops: int = 0
+    tx_success: int = 0
+    tx_failed: int = 0
+    tx_attempts: int = 0
+    rx_delivered: int = 0
+    rx_duplicates: int = 0
+    acks_sent: int = 0
+
+
+@dataclass
+class _TxJob:
+    dest: int
+    payload: Any
+    payload_bytes: int
+    done: Optional[Callable[[bool], None]]
+    seq: int
+    auth_bytes: int = 0
+
+
+class MacLayer(abc.ABC):
+    """Abstract single-radio MAC with a bounded FIFO transmit queue.
+
+    Subclasses implement channel access in :meth:`_start_job` and call
+    :meth:`_finish_job` exactly once per job.  Frames received from the
+    radio flow through :meth:`_on_phy_receive`, which dispatches ACKs to
+    :meth:`_handle_ack` and hands deduplicated DATA frames to the
+    ``on_receive`` upcall.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        trace: Optional[TraceLog] = None,
+        max_queue: int = 16,
+    ) -> None:
+        self.sim = sim
+        self.radio = radio
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.max_queue = max_queue
+        self.stats = MacStats()
+        self.on_receive: Optional[Callable[[MacFrame], None]] = None
+        #: Optional verifier installed by the security layer: returns the
+        #: (possibly rewritten) frame to deliver, or None to drop it.
+        self.frame_filter: Optional[Callable[[MacFrame], Optional[MacFrame]]] = None
+        #: Authentication tag bytes appended to outgoing DATA frames.
+        self.auth_overhead_bytes = 0
+        self._queue: Deque[_TxJob] = deque()
+        self._busy = False
+        self._started = False
+        self._dedup: Dict[int, int] = {}
+        radio.on_receive = self._on_phy_receive
+        self._rng = sim.substream(f"mac.{radio.node_id}")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring the MAC up (radio duty cycle begins)."""
+        if self._started:
+            return
+        self._started = True
+        self._on_start()
+
+    def stop(self) -> None:
+        """Shut the MAC down; queued jobs fail."""
+        if not self._started:
+            return
+        self._started = False
+        self._on_stop()
+        while self._queue:
+            job = self._queue.popleft()
+            if job.done is not None:
+                job.done(False)
+
+    @property
+    def running(self) -> bool:
+        return self._started
+
+    @abc.abstractmethod
+    def _on_start(self) -> None:
+        """Subclass hook: begin the duty cycle."""
+
+    @abc.abstractmethod
+    def _on_stop(self) -> None:
+        """Subclass hook: cancel timers, idle the radio."""
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        payload: Any,
+        payload_bytes: int,
+        done: Optional[Callable[[bool], None]] = None,
+    ) -> bool:
+        """Enqueue a frame for ``dest`` (or :data:`BROADCAST`).
+
+        Returns False (and calls ``done(False)``) when the queue is full
+        or the MAC is stopped — queue overflow is a first-class failure
+        mode on constrained devices, not an exception.
+        """
+        if not self._started or len(self._queue) >= self.max_queue:
+            self.stats.queue_drops += 1
+            if done is not None:
+                done(False)
+            return False
+        job = _TxJob(
+            dest=dest,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            done=done,
+            seq=next_seq(),
+            auth_bytes=self.auth_overhead_bytes,
+        )
+        self._queue.append(job)
+        self.stats.enqueued += 1
+        self._kick()
+        return True
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _kick(self) -> None:
+        if self._busy or not self._queue or not self._started:
+            return
+        self._busy = True
+        job = self._queue.popleft()
+        self._start_job(job)
+
+    @abc.abstractmethod
+    def _start_job(self, job: _TxJob) -> None:
+        """Run channel access for one job; must end in :meth:`_finish_job`."""
+
+    def _finish_job(self, job: _TxJob, success: bool) -> None:
+        if success:
+            self.stats.tx_success += 1
+        else:
+            self.stats.tx_failed += 1
+        self._busy = False
+        if job.done is not None:
+            job.done(success)
+        self.sim.call_soon(self._kick)
+
+    def _transmit_frame(
+        self, frame: MacFrame, done: Optional[Callable[[], None]] = None
+    ) -> float:
+        if not self.radio.enabled:
+            # Node crashed mid-exchange; swallow the frame, let the
+            # caller's completion logic run so jobs still terminate.
+            if done is not None:
+                self.sim.call_soon(done)
+            return 0.0
+        self.stats.tx_attempts += 1
+        phy = Frame(
+            payload=frame,
+            size_bytes=frame.size_bytes,
+            channel=self.radio.channel,
+            sender=self.radio.node_id,
+        )
+        return self.radio.medium.transmit(self.radio, phy, done)
+
+    def data_frame(self, job: _TxJob) -> MacFrame:
+        """Build the DATA frame for a job (one seq for all its copies)."""
+        return MacFrame(
+            kind=FrameKind.DATA,
+            src=self.radio.node_id,
+            dst=job.dest,
+            seq=job.seq,
+            payload=job.payload,
+            payload_bytes=job.payload_bytes,
+            auth_bytes=job.auth_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_phy_receive(self, phy: Frame, rssi_dbm: float) -> None:
+        if not self._started:
+            return
+        frame = phy.payload
+        if not isinstance(frame, MacFrame):
+            return
+        if frame.kind is FrameKind.ACK:
+            if frame.dst == self.radio.node_id:
+                self._handle_ack(frame)
+            return
+        if frame.kind is FrameKind.BEACON:
+            self._handle_beacon(frame)
+            return
+        if frame.dst not in (self.radio.node_id, BROADCAST):
+            self._overheard(frame)
+            return
+        self._handle_data(frame)
+
+    def _handle_data(self, frame: MacFrame) -> None:
+        """Default DATA handling: dedup then deliver.  Subclasses that
+        acknowledge call this after sending their ACK."""
+        if self._dedup.get(frame.src) == frame.seq:
+            self.stats.rx_duplicates += 1
+            return
+        if self.frame_filter is not None:
+            filtered = self.frame_filter(frame)
+            if filtered is None:
+                return
+            frame = filtered
+        self._dedup[frame.src] = frame.seq
+        self.stats.rx_delivered += 1
+        if self.on_receive is not None:
+            self.on_receive(frame)
+
+    def _handle_ack(self, frame: MacFrame) -> None:
+        """Subclasses awaiting ACKs override this."""
+
+    def _handle_beacon(self, frame: MacFrame) -> None:
+        """Receiver-initiated MACs override this."""
+
+    def _overheard(self, frame: MacFrame) -> None:
+        """Frame addressed elsewhere; hooks for snooping MACs."""
+
+    def _send_ack(self, to: int, seq: int, turnaround: float = 0.000192) -> None:
+        """Transmit a link-layer ACK after the radio turnaround time."""
+
+        def fire() -> None:
+            from repro.radio.medium import RadioState
+
+            if not self._started or self.radio.state is RadioState.TX:
+                return
+            ack = MacFrame(
+                kind=FrameKind.ACK,
+                src=self.radio.node_id,
+                dst=to,
+                seq=seq,
+            )
+            self.stats.acks_sent += 1
+            self._transmit_frame(ack)
+
+        self.sim.schedule(turnaround, fire)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def duty_cycle(self) -> float:
+        """Fraction of time the radio has been awake (LISTEN or TX)."""
+        from repro.radio.medium import RadioState
+
+        times = self.radio.flush_state_time()
+        total = sum(times.values())
+        if total == 0:
+            return 0.0
+        awake = times[RadioState.LISTEN] + times[RadioState.TX]
+        return awake / total

@@ -1,0 +1,130 @@
+"""Always-on CSMA/CA with link-layer acknowledgments.
+
+The energy-unconstrained baseline: the radio listens whenever it is not
+transmitting, so receive latency is only backoff + airtime.  This is
+what mains-powered border routers run, and what battery-powered nodes
+*cannot afford* — the contrast that motivates duty cycling (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.mac.base import MacConfigError, MacLayer, _TxJob
+from repro.net.packet import BROADCAST, MacFrame
+from repro.sim.timers import Timer
+
+
+@dataclass(frozen=True)
+class CsmaConfig:
+    """CSMA/CA parameters (defaults follow 802.15.4 unslotted CSMA)."""
+
+    #: Initial backoff window; doubles per failed CCA.
+    backoff_unit_s: float = 0.00032
+    #: Initial backoff exponent (window = unit * 2**be slots).
+    min_be: int = 3
+    max_be: int = 5
+    #: Clear-channel attempts before declaring channel-access failure.
+    max_cca_attempts: int = 5
+    #: Retransmissions of an unacknowledged unicast frame.
+    max_retries: int = 3
+    #: How long to wait for the ACK after the data frame ends.
+    ack_timeout_s: float = 0.003
+
+    def validate(self) -> None:
+        if self.max_cca_attempts < 1:
+            raise MacConfigError("max_cca_attempts must be >= 1")
+        if self.max_retries < 0:
+            raise MacConfigError("max_retries must be >= 0")
+        if not self.min_be <= self.max_be:
+            raise MacConfigError("min_be must not exceed max_be")
+
+
+class CsmaMac(MacLayer):
+    """Unslotted CSMA/CA over an always-listening radio."""
+
+    def __init__(self, sim, radio, config: Optional[CsmaConfig] = None, **kwargs) -> None:
+        super().__init__(sim, radio, **kwargs)
+        self.config = config if config is not None else CsmaConfig()
+        self.config.validate()
+        self._ack_timer = Timer(sim, self._ack_timeout)
+        self._awaiting: Optional[_TxJob] = None
+        self._retries = 0
+
+    # ------------------------------------------------------------------
+    def _on_start(self) -> None:
+        self.radio.set_listening()
+
+    def _on_stop(self) -> None:
+        self._ack_timer.cancel()
+        self._awaiting = None
+        from repro.radio.medium import RadioState
+
+        if self.radio.state is not RadioState.TX:
+            self.radio.sleep()
+
+    # ------------------------------------------------------------------
+    def _start_job(self, job: _TxJob) -> None:
+        self._retries = 0
+        self._attempt(job)
+
+    def _attempt(self, job: _TxJob) -> None:
+        self._cca(job, cca_attempt=0)
+
+    def _cca(self, job: _TxJob, cca_attempt: int) -> None:
+        be = min(self.config.min_be + cca_attempt, self.config.max_be)
+        window = self.config.backoff_unit_s * (2**be)
+        delay = self._rng.uniform(0, window)
+
+        def check() -> None:
+            if not self._started:
+                self._finish_job(job, False)
+                return
+            from repro.radio.medium import RadioState
+
+            if self.radio.carrier_busy() or self.radio.state is RadioState.TX:
+                if cca_attempt + 1 >= self.config.max_cca_attempts:
+                    self._finish_job(job, False)
+                else:
+                    self._cca(job, cca_attempt + 1)
+                return
+            self._transmit_data(job)
+
+        self.sim.schedule(delay, check)
+
+    def _transmit_data(self, job: _TxJob) -> None:
+        frame = self.data_frame(job)
+
+        def tx_done() -> None:
+            if job.dest == BROADCAST:
+                self._finish_job(job, True)
+                return
+            self._awaiting = job
+            self._ack_timer.start(self.config.ack_timeout_s)
+
+        self._transmit_frame(frame, tx_done)
+
+    def _ack_timeout(self) -> None:
+        job = self._awaiting
+        self._awaiting = None
+        if job is None:
+            return
+        self._retries += 1
+        if self._retries > self.config.max_retries:
+            self._finish_job(job, False)
+        else:
+            self._attempt(job)
+
+    def _handle_ack(self, frame: MacFrame) -> None:
+        job = self._awaiting
+        if job is None or frame.src != job.dest or frame.seq != job.seq:
+            return
+        self._ack_timer.cancel()
+        self._awaiting = None
+        self._finish_job(job, True)
+
+    def _handle_data(self, frame: MacFrame) -> None:
+        if frame.dst == self.radio.node_id:
+            self._send_ack(frame.src, frame.seq)
+        super()._handle_data(frame)

@@ -1,0 +1,183 @@
+"""Receiver-initiated MAC (RI-MAC style).
+
+Receivers wake on their own schedule and announce availability with a
+short beacon; a sender keeps its radio on until it hears the intended
+receiver's beacon, then transmits immediately.  Compared with LPL, the
+cost of rendezvous moves from the channel (long strobes) to the sender's
+idle listening, which behaves much better under contention — the reason
+ref [27] proposed it for dynamic traffic loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.mac.base import MacConfigError, MacLayer, _TxJob
+from repro.net.packet import BROADCAST, FrameKind, MacFrame
+from repro.sim.timers import Timer
+
+
+@dataclass(frozen=True)
+class RiMacConfig:
+    """Receiver-initiated MAC parameters."""
+
+    #: Mean beacon period; actual periods are jittered ±``jitter``.
+    wake_interval_s: float = 0.5
+    jitter: float = 0.2
+    #: How long a receiver listens after its beacon for incoming data.
+    dwell_s: float = 0.008
+    #: Random pre-transmission delay spreading contending senders.
+    tx_spread_s: float = 0.002
+    #: How long past a full wake interval a sender keeps waiting.
+    wait_margin_s: float = 0.1
+    #: Whole-wait retries for unacknowledged unicast.
+    max_retries: int = 1
+
+    def validate(self) -> None:
+        if self.wake_interval_s <= 0:
+            raise MacConfigError("wake_interval_s must be positive")
+        if not 0 <= self.jitter < 1:
+            raise MacConfigError("jitter must be in [0, 1)")
+
+
+class RiMac(MacLayer):
+    """RI-MAC style receiver-initiated duty-cycled MAC."""
+
+    def __init__(self, sim, radio, config: Optional[RiMacConfig] = None, **kwargs) -> None:
+        super().__init__(sim, radio, **kwargs)
+        self.config = config if config is not None else RiMacConfig()
+        self.config.validate()
+        self._beacon_timer = Timer(sim, self._beacon)
+        self._dwell_timer = Timer(sim, self._dwell_over)
+        self._wait_timer = Timer(sim, self._wait_expired)
+        self._job: Optional[_TxJob] = None
+        self._job_deadline = 0.0
+        self._retries = 0
+        self._got_ack = False
+        self._broadcast_targets_served = 0
+
+    # ------------------------------------------------------------------
+    # receiver duty cycle
+    # ------------------------------------------------------------------
+    def _on_start(self) -> None:
+        self._beacon_timer.start(self._rng.uniform(0, self.config.wake_interval_s))
+
+    def _on_stop(self) -> None:
+        for timer in (self._beacon_timer, self._dwell_timer, self._wait_timer):
+            timer.cancel()
+        from repro.radio.medium import RadioState
+
+        if self.radio.state is not RadioState.TX:
+            self.radio.sleep()
+
+    def _next_beacon_delay(self) -> float:
+        w, j = self.config.wake_interval_s, self.config.jitter
+        return self._rng.uniform(w * (1 - j), w * (1 + j))
+
+    def _beacon(self) -> None:
+        self._beacon_timer.start(self._next_beacon_delay())
+        from repro.radio.medium import RadioState
+
+        if self.radio.state is RadioState.TX:
+            return
+        self.radio.set_listening()
+        beacon = MacFrame(
+            kind=FrameKind.BEACON,
+            src=self.radio.node_id,
+            dst=BROADCAST,
+            seq=0,
+        )
+        self._transmit_frame(
+            beacon, lambda: self._dwell_timer.start(self.config.dwell_s)
+        )
+
+    def _dwell_over(self) -> None:
+        from repro.radio.medium import RadioState
+
+        if self.radio.state is RadioState.TX:
+            self._dwell_timer.start(self.config.dwell_s)
+            return
+        if self._job is None:
+            self.radio.sleep()
+
+    def _handle_data(self, frame: MacFrame) -> None:
+        if frame.dst == self.radio.node_id:
+            self._send_ack(frame.src, frame.seq)
+            # Hold the radio briefly in case the sender has more.
+            self._dwell_timer.start(self.config.dwell_s)
+        super()._handle_data(frame)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def _start_job(self, job: _TxJob) -> None:
+        self._retries = 0
+        self._begin_wait(job)
+
+    def _begin_wait(self, job: _TxJob) -> None:
+        self._job = job
+        self._got_ack = False
+        self._broadcast_targets_served = 0
+        self._job_deadline = (
+            self.sim.now
+            + self.config.wake_interval_s * (1 + self.config.jitter)
+            + self.config.wait_margin_s
+        )
+        self.radio.set_listening()
+        self._wait_timer.start(self._job_deadline - self.sim.now)
+
+    def _handle_beacon(self, frame: MacFrame) -> None:
+        job = self._job
+        if job is None:
+            return
+        if job.dest != BROADCAST and frame.src != job.dest:
+            return
+
+        delay = self._rng.uniform(0, self.config.tx_spread_s)
+
+        def fire() -> None:
+            if self._job is not job:
+                return
+            from repro.radio.medium import RadioState
+
+            if self.radio.state is RadioState.TX or self.radio.carrier_busy():
+                return  # lost the race to another sender; next beacon
+            self._transmit_frame(self.data_frame(job))
+            if job.dest == BROADCAST:
+                self._broadcast_targets_served += 1
+
+        self.sim.schedule(delay, fire)
+
+    def _handle_ack(self, frame: MacFrame) -> None:
+        job = self._job
+        if job is None or frame.src != job.dest or frame.seq != job.seq:
+            return
+        self._got_ack = True
+        self._wait_timer.cancel()
+        self._complete(True)
+
+    def _wait_expired(self) -> None:
+        job = self._job
+        if job is None:
+            return
+        if job.dest == BROADCAST:
+            self._complete(self._broadcast_targets_served > 0
+                           or not self.radio.medium.audible_from(self.radio))
+            return
+        self._complete(False)
+
+    def _complete(self, success: bool) -> None:
+        job = self._job
+        self._job = None
+        self._wait_timer.cancel()
+        assert job is not None
+        if not success and job.dest != BROADCAST and self._retries < self.config.max_retries:
+            self._retries += 1
+            self._begin_wait(job)
+            return
+        from repro.radio.medium import RadioState
+
+        if self.radio.state is not RadioState.TX and not self._dwell_timer.armed:
+            self.radio.sleep()
+        self._finish_job(job, success)

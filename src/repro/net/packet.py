@@ -1,0 +1,109 @@
+"""Packet formats with explicit byte accounting.
+
+Constrained networks live and die by header bytes (the paper's §II-B:
+bandwidth and energy are scarce), so every layer here charges a header
+size and the medium charges airtime per byte.  Payloads themselves are
+Python objects — we account their *declared* size rather than
+serializing, which keeps the simulator fast while preserving the cost
+model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+#: Link-layer broadcast address.
+BROADCAST = 0xFFFF
+
+#: 802.15.4-style MAC header+footer charged per frame.
+MAC_HEADER_BYTES = 9
+#: Link-layer acknowledgment frame size.
+ACK_SIZE_BYTES = 5
+#: Compressed (6LoWPAN-style) network header charged per packet.
+NET_HEADER_BYTES = 7
+#: Compressed UDP header.
+UDP_HEADER_BYTES = 4
+
+_seq_counter = itertools.count(1)
+
+
+class FrameKind(enum.Enum):
+    """Link-layer frame types."""
+
+    DATA = "data"
+    ACK = "ack"
+    BEACON = "beacon"
+
+
+@dataclass
+class MacFrame:
+    """A link-layer frame as seen by MAC state machines."""
+
+    kind: FrameKind
+    src: int
+    dst: int
+    seq: int
+    payload: Any = None
+    payload_bytes: int = 0
+    #: Authentication tag bytes added by the security layer (0 = none).
+    auth_bytes: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        if self.kind is FrameKind.ACK:
+            return ACK_SIZE_BYTES
+        if self.kind is FrameKind.BEACON:
+            return MAC_HEADER_BYTES
+        return MAC_HEADER_BYTES + self.payload_bytes + self.auth_bytes
+
+
+@dataclass
+class NetPacket:
+    """A network-layer packet routed hop by hop.
+
+    ``source_route`` carries the remaining downward route in non-storing
+    RPL; empty for upward (default-route) traffic.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    payload_bytes: int
+    ttl: int = 16
+    hops: int = 0
+    source_route: Tuple[int, ...] = ()
+    #: RPL datapath validation (RFC 6550 §11.2): rank of the last
+    #: forwarder; an upward packet arriving from an equal-or-lower rank
+    #: signals a loop.
+    sender_rank: int = 0
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_seq_counter))
+
+    @property
+    def size_bytes(self) -> int:
+        route_bytes = 2 * len(self.source_route)
+        return NET_HEADER_BYTES + route_bytes + self.payload_bytes
+
+
+@dataclass
+class Datagram:
+    """A UDP-like datagram delivered to a port on the destination node."""
+
+    src: int
+    src_port: int
+    dst: int
+    dst_port: int
+    payload: Any
+    payload_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        return UDP_HEADER_BYTES + self.payload_bytes
+
+
+def next_seq() -> int:
+    """Globally unique sequence number source for frames and packets."""
+    return next(_seq_counter)

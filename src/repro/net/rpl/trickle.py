@@ -1,0 +1,119 @@
+"""The Trickle timer (RFC 6206).
+
+Trickle is the pacing heart of RPL's DIO beaconing: transmissions slow
+down exponentially while the network is consistent and snap back to the
+minimum interval on inconsistency, giving both low steady-state overhead
+and fast repair — the self-organizing behaviour §V-D credits to sensing
+and actuation layer protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+class TrickleTimer:
+    """RFC 6206 Trickle.
+
+    Parameters
+    ----------
+    imin_s:
+        Minimum interval length I_min, seconds.
+    doublings:
+        I_max = I_min * 2**doublings.
+    k:
+        Redundancy constant; the timer suppresses its transmission when
+        it heard >= k consistent messages in the current interval.
+    on_transmit:
+        Called at the chosen instant t when not suppressed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        imin_s: float,
+        doublings: int,
+        k: int,
+        on_transmit: Callable[[], None],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if imin_s <= 0:
+            raise ValueError("imin_s must be positive")
+        if doublings < 0:
+            raise ValueError("doublings must be >= 0")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.sim = sim
+        self.imin = imin_s
+        self.imax = imin_s * (2**doublings)
+        self.k = k
+        self.on_transmit = on_transmit
+        self._rng = rng if rng is not None else sim.substream("trickle")
+        self.interval = imin_s
+        self.counter = 0
+        self._fire_timer = Timer(sim, self._fire)
+        self._interval_timer = Timer(sim, self._interval_end)
+        self._running = False
+        self.transmissions = 0
+        self.suppressions = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start at I = I_min (per RFC 6206 §4.2 step 1)."""
+        if self._running:
+            return
+        self._running = True
+        self.interval = self.imin
+        self._begin_interval()
+
+    def stop(self) -> None:
+        """Halt; no transmissions until :meth:`start` again."""
+        self._running = False
+        self._fire_timer.cancel()
+        self._interval_timer.cancel()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    def hear_consistent(self) -> None:
+        """Register a consistent received message (increments c)."""
+        self.counter += 1
+
+    def hear_inconsistent(self) -> None:
+        """Register an inconsistent message: reset to I_min."""
+        self.reset()
+
+    def reset(self) -> None:
+        """External event: restart at I_min unless already there."""
+        if not self._running:
+            return
+        self.resets += 1
+        if self.interval > self.imin:
+            self.interval = self.imin
+            self._begin_interval()
+        # RFC 6206: if I == Imin already, do nothing.
+
+    # ------------------------------------------------------------------
+    def _begin_interval(self) -> None:
+        self.counter = 0
+        t = self._rng.uniform(self.interval / 2.0, self.interval)
+        self._fire_timer.start(t)
+        self._interval_timer.start(self.interval)
+
+    def _fire(self) -> None:
+        if self.counter < self.k:
+            self.transmissions += 1
+            self.on_transmit()
+        else:
+            self.suppressions += 1
+
+    def _interval_end(self) -> None:
+        self.interval = min(self.interval * 2.0, self.imax)
+        self._begin_interval()

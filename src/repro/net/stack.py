@@ -1,0 +1,411 @@
+"""The per-node network stack.
+
+Binds one radio, one MAC, one RPL router and (optionally) an RNFD agent
+into the thing applications program against: a UDP-like socket API with
+``bind(port, handler)`` and ``send_datagram(...)``.
+
+Routing follows RPL's non-storing pattern: everything flows up the
+DODAG to the root over preferred parents; the root source-routes
+downward traffic from its DAO table; point-to-point traffic transits the
+root.  The stack also owns fault hooks (:meth:`NetworkStack.fail` /
+:meth:`NetworkStack.recover`) used by the dependability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.fragmentation import FragmentationAdapter
+from repro.net.mac.base import MacLayer
+from repro.net.mac.csma import CsmaConfig, CsmaMac
+from repro.net.mac.lpl import LplConfig, LplMac
+from repro.net.mac.rimac import RiMac, RiMacConfig
+from repro.net.packet import BROADCAST, Datagram, MacFrame, NetPacket
+from repro.net.rpl.dodag import RplConfig, RplRouter, RplState
+from repro.net.rpl.messages import (
+    DaoMessage,
+    DioMessage,
+    DisMessage,
+    RnfdGossip,
+    RnfdProbe,
+)
+from repro.net.rpl.objective import Mrhof, ObjectiveFunction, Of0
+from repro.net.rpl.rnfd import Cfrc, RnfdAgent, RnfdConfig
+from repro.radio.medium import Medium, Radio, RadioState
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+#: Reserved UDP-like port carrying DAO messages to the root.
+RPL_DAO_PORT = 0
+
+_MAC_REGISTRY = {
+    "csma": (CsmaMac, CsmaConfig),
+    "lpl": (LplMac, LplConfig),
+    "rimac": (RiMac, RiMacConfig),
+}
+
+_OBJECTIVE_REGISTRY = {"mrhof": Mrhof, "of0": Of0}
+
+
+@dataclass
+class StackConfig:
+    """Configuration shared by every node of one network."""
+
+    mac: str = "csma"
+    mac_config: Optional[object] = None
+    rpl: RplConfig = field(default_factory=RplConfig)
+    objective: str = "mrhof"
+    rnfd_enabled: bool = False
+    rnfd: RnfdConfig = field(default_factory=RnfdConfig)
+    default_ttl: int = 16
+    channel: int = 26
+    tx_power_dbm: float = 0.0
+    #: One blind retry through a (possibly new) parent on upward failure.
+    upward_retries: int = 1
+
+    def make_mac(self, sim: Simulator, radio: Radio, trace: TraceLog) -> MacLayer:
+        try:
+            mac_cls, config_cls = _MAC_REGISTRY[self.mac]
+        except KeyError:
+            raise ValueError(
+                f"unknown MAC {self.mac!r}; choose from {sorted(_MAC_REGISTRY)}"
+            ) from None
+        mac_config = self.mac_config if self.mac_config is not None else config_cls()
+        return mac_cls(sim, radio, config=mac_config, trace=trace)
+
+    def make_objective(self) -> ObjectiveFunction:
+        try:
+            return _OBJECTIVE_REGISTRY[self.objective]()
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {sorted(_OBJECTIVE_REGISTRY)}"
+            ) from None
+
+
+@dataclass
+class StackStats:
+    """End-to-end datagram accounting for one node."""
+
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    datagrams_forwarded: int = 0
+    datagrams_dropped_no_route: int = 0
+    datagrams_dropped_ttl: int = 0
+    datagrams_dropped_link: int = 0
+
+
+class NetworkStack:
+    """One node's complete stack: radio + MAC + RPL (+ RNFD) + sockets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: int,
+        position: Tuple[float, float],
+        config: Optional[StackConfig] = None,
+        is_root: bool = False,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.node_id = node_id
+        self.config = config if config is not None else StackConfig()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.is_root = is_root
+        self.stats = StackStats()
+        self.radio = Radio(
+            medium, node_id, position,
+            tx_power_dbm=self.config.tx_power_dbm,
+            channel=self.config.channel,
+        )
+        self.mac = self.config.make_mac(sim, self.radio, self.trace)
+        self.mac.on_receive = self._on_mac_frame
+        self.frag = FragmentationAdapter(
+            sim, self.mac, deliver=self._on_reassembled, trace=self.trace,
+        )
+        self.rpl = RplRouter(
+            sim, node_id, transport=self,
+            config=self.config.rpl,
+            objective=self.config.make_objective(),
+            is_root=is_root, trace=self.trace,
+        )
+        self.rpl.send_dao_upward = self._send_dao
+        self.rnfd: Optional[RnfdAgent] = None
+        if self.config.rnfd_enabled:
+            self.rnfd = RnfdAgent(sim, self.rpl, self.config.rnfd, self.trace)
+        self._sockets: Dict[int, Callable[[Datagram], None]] = {}
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # lifecycle & faults
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring the whole stack up."""
+        self.mac.start()
+        self.rpl.start()
+        if self.rnfd is not None:
+            self.rnfd.start()
+
+    def stop(self) -> None:
+        if self.rnfd is not None:
+            self.rnfd.stop()
+        self.rpl.stop()
+        self.mac.stop()
+
+    def fail(self) -> None:
+        """Crash-stop the node (dependability experiments)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.stop()
+        self.radio.enabled = False
+        self._force_radio_sleep()
+        self.trace.emit(self.sim.now, "node.failed", node=self.node_id)
+
+    def recover(self) -> None:
+        """Restart after a crash; routing state is rebuilt from scratch."""
+        if self.alive:
+            return
+        self.alive = True
+        self.radio.enabled = True
+        self.mac.start()
+        self.rpl.start()
+        if self.rnfd is not None:
+            self.rnfd.reset()
+            self.rnfd.start()
+        self.trace.emit(self.sim.now, "node.recovered", node=self.node_id)
+
+    def _force_radio_sleep(self) -> None:
+        if self.radio.state is RadioState.TX:
+            self.sim.schedule(0.05, self._force_radio_sleep)
+        else:
+            self.radio.sleep()
+
+    # ------------------------------------------------------------------
+    # RplTransport protocol
+    # ------------------------------------------------------------------
+    def broadcast_control(self, message: Any, size_bytes: int) -> None:
+        self.mac.send(BROADCAST, message, size_bytes)
+
+    def unicast_control(
+        self,
+        dest: int,
+        message: Any,
+        size_bytes: int,
+        done: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        self.mac.send(dest, message, size_bytes, done=done)
+
+    def link_prr(self, neighbor: int) -> float:
+        return self.medium.link_prr(self.node_id, neighbor)
+
+    # ------------------------------------------------------------------
+    # socket API
+    # ------------------------------------------------------------------
+    def bind(self, port: int, handler: Callable[[Datagram], None]) -> None:
+        """Register ``handler`` for datagrams arriving on ``port``."""
+        if port in self._sockets:
+            raise ValueError(f"port {port} already bound on node {self.node_id}")
+        self._sockets[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def send_datagram(
+        self,
+        dst: int,
+        dst_port: int,
+        payload: Any,
+        payload_bytes: int,
+        src_port: int = 1,
+        done: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Send a datagram to node ``dst``.
+
+        ``done(ok)`` reports only the *local* outcome (first hop handed
+        to the MAC); end-to-end delivery is observed at the receiver.
+        """
+        datagram = Datagram(
+            src=self.node_id, src_port=src_port,
+            dst=dst, dst_port=dst_port,
+            payload=payload, payload_bytes=payload_bytes,
+        )
+        packet = NetPacket(
+            src=self.node_id, dst=dst,
+            payload=datagram, payload_bytes=datagram.size_bytes,
+            ttl=self.config.default_ttl, created_at=self.sim.now,
+        )
+        self.stats.datagrams_sent += 1
+        self._route(packet, done)
+
+    def send_local_broadcast(
+        self, port: int, payload: Any, payload_bytes: int, src_port: int = 1
+    ) -> None:
+        """One-hop broadcast datagram to all MAC neighbors.
+
+        Used by gossip protocols (CRDT anti-entropy, aggregation query
+        dissemination) that deliberately work link-locally instead of
+        routing through the DODAG.
+        """
+        datagram = Datagram(
+            src=self.node_id, src_port=src_port,
+            dst=BROADCAST, dst_port=port,
+            payload=payload, payload_bytes=payload_bytes,
+        )
+        self.frag.send(BROADCAST, datagram, datagram.size_bytes)
+
+    @property
+    def connected(self) -> bool:
+        """True when the node has an upward route to a grounded root."""
+        if self.is_root:
+            return True
+        return self.rpl.state is RplState.JOINED and self.rpl.grounded
+
+    # ------------------------------------------------------------------
+    # routing / forwarding
+    # ------------------------------------------------------------------
+    def _send_dao(self, dao: DaoMessage, size_bytes: int) -> None:
+        root = self.rpl.dodag_id
+        if root is None:
+            return
+        self.send_datagram(root, RPL_DAO_PORT, dao, size_bytes)
+
+    def _route(
+        self,
+        packet: NetPacket,
+        done: Optional[Callable[[bool], None]] = None,
+        retries_left: Optional[int] = None,
+    ) -> None:
+        if retries_left is None:
+            retries_left = self.config.upward_retries
+        if packet.dst == self.node_id:
+            self._deliver(packet)
+            if done is not None:
+                done(True)
+            return
+        next_hop = self._next_hop(packet)
+        if next_hop is None:
+            self.stats.datagrams_dropped_no_route += 1
+            self.trace.emit(self.sim.now, "net.no_route", node=self.node_id,
+                            dst=packet.dst)
+            if done is not None:
+                done(False)
+            return
+
+        def feedback(ok: bool) -> None:
+            self.rpl.link_feedback(next_hop, ok)
+            if ok:
+                if done is not None:
+                    done(True)
+                return
+            if retries_left > 0:
+                # Parent re-selection may have found a different hop.
+                self._route(packet, done, retries_left - 1)
+                return
+            self.stats.datagrams_dropped_link += 1
+            self.trace.emit(self.sim.now, "net.link_drop", node=self.node_id,
+                            dst=packet.dst, hop=next_hop)
+            if done is not None:
+                done(False)
+
+        packet.sender_rank = self.rpl.rank
+        self.frag.send(next_hop, packet, packet.size_bytes, done=feedback)
+
+    def _next_hop(self, packet: NetPacket) -> Optional[int]:
+        # Downward source routing.
+        if packet.source_route:
+            try:
+                index = packet.source_route.index(self.node_id)
+            except ValueError:
+                return packet.source_route[0]
+            if index + 1 < len(packet.source_route):
+                return packet.source_route[index + 1]
+            return None
+        # At the root: attach a source route from the DAO table.
+        if self.rpl.state in (RplState.ROOT, RplState.FLOATING_ROOT) and (
+            self.rpl.node_id == (self.rpl.dodag_id or self.rpl.node_id)
+        ):
+            route = self.rpl.route_to(packet.dst)
+            if not route:
+                return None
+            packet.source_route = tuple(route)
+            return route[0]
+        # Upward default route.
+        return self.rpl.preferred_parent
+
+    def _deliver(self, packet: NetPacket) -> None:
+        datagram = packet.payload
+        if not isinstance(datagram, Datagram):
+            return
+        latency = self.sim.now - packet.created_at
+        self.stats.datagrams_delivered += 1
+        self.trace.emit(self.sim.now, "net.delivered", node=self.node_id,
+                        src=packet.src, port=datagram.dst_port,
+                        latency=latency, hops=packet.hops)
+        if datagram.dst_port == RPL_DAO_PORT:
+            if isinstance(datagram.payload, DaoMessage):
+                self.rpl.handle_dao(datagram.payload)
+            return
+        handler = self._sockets.get(datagram.dst_port)
+        if handler is not None:
+            handler(datagram)
+
+    # ------------------------------------------------------------------
+    # MAC upcall dispatch
+    # ------------------------------------------------------------------
+    def _on_reassembled(self, src: int, payload: Any, total_bytes: int) -> None:
+        """A fragmented payload completed reassembly: dispatch it as if
+        it had arrived in one frame."""
+        if isinstance(payload, NetPacket):
+            self._handle_packet(payload)
+        elif isinstance(payload, Datagram):
+            handler = self._sockets.get(payload.dst_port)
+            if handler is not None:
+                handler(payload)
+
+    def _on_mac_frame(self, frame: MacFrame) -> None:
+        payload = frame.payload
+        if self.frag.on_frame(frame.src, payload, frame.payload_bytes):
+            return
+        if isinstance(payload, DioMessage):
+            self.rpl.handle_dio(frame.src, payload)
+            if self.rnfd is not None and payload.options:
+                self.rnfd.handle_options(payload.options)
+            return
+        if isinstance(payload, DisMessage):
+            self.rpl.handle_dis(frame.src)
+            return
+        if isinstance(payload, RnfdProbe):
+            return  # liveness answered by the link-layer ACK
+        if isinstance(payload, RnfdGossip):
+            if self.rnfd is not None:
+                self.rnfd.handle_options({"cfrc": Cfrc(entries=dict(payload.entries))})
+            return
+        if isinstance(payload, NetPacket):
+            self._handle_packet(payload)
+            return
+        if isinstance(payload, Datagram):
+            # Link-local broadcast datagram (no network header).
+            handler = self._sockets.get(payload.dst_port)
+            if handler is not None:
+                handler(payload)
+
+    def _handle_packet(self, packet: NetPacket) -> None:
+        packet.hops += 1  # one link traversed, delivery or forward alike
+        if packet.dst == self.node_id:
+            self._deliver(packet)
+            return
+        if not packet.source_route and packet.sender_rank <= self.rpl.rank:
+            # Upward traffic must strictly decrease in rank.
+            self.rpl.datapath_inconsistency()
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.stats.datagrams_dropped_ttl += 1
+            self.trace.emit(self.sim.now, "net.ttl_drop", node=self.node_id,
+                            dst=packet.dst)
+            return
+        self.stats.datagrams_forwarded += 1
+        self._route(packet)

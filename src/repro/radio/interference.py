@@ -1,0 +1,100 @@
+"""Synthetic cross-technology interferers.
+
+The paper's administrative-scalability discussion (§IV-C, refs [35],
+[36]) is about co-located systems — run by different entities — sharing
+the 2.4 GHz band.  Real coexistence studies inject Wi-Fi and BLE traffic
+next to an 802.15.4 testbed; we substitute interferer processes that put
+wide-band frames on the medium.  Those frames are never received by
+802.15.4 radios, but they raise CCA and collide with overlapping
+transmissions, which is exactly the mechanism behind the measured PRR
+collapse in the cited studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.radio.channels import ieee802154_channels_hit_by_wifi
+from repro.radio.medium import Frame, Medium, Radio, RadioState
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class InterfererConfig:
+    """Traffic shape of a Wi-Fi interferer.
+
+    ``duty_cycle`` is the long-run fraction of airtime occupied;
+    ``burst_airtime_s`` is the length of each busy burst (a frame or
+    aggregate).  Gaps between bursts are exponential, giving Poisson
+    burst arrivals at the rate implied by the duty cycle.
+    """
+
+    wifi_channel: int = 6
+    duty_cycle: float = 0.10
+    burst_airtime_s: float = 0.002
+    tx_power_dbm: float = 15.0
+
+    def mean_gap_s(self) -> float:
+        """Mean idle gap between bursts implied by the duty cycle."""
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise ValueError("duty_cycle must be in (0, 1)")
+        return self.burst_airtime_s * (1.0 - self.duty_cycle) / self.duty_cycle
+
+
+class WifiInterferer:
+    """A Wi-Fi access point + stations, abstracted to a busy-burst source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: int,
+        position: tuple,
+        config: Optional[InterfererConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.config = config if config is not None else InterfererConfig()
+        self.radio = Radio(
+            medium,
+            node_id,
+            position,
+            tx_power_dbm=self.config.tx_power_dbm,
+            channel=0,  # not an 802.15.4 channel; this radio only jams
+        )
+        self.jam_channels = ieee802154_channels_hit_by_wifi(self.config.wifi_channel)
+        self._rng = sim.substream(f"interferer.{node_id}")
+        self._running = False
+        self.bursts_sent = 0
+
+    def start(self) -> None:
+        """Begin emitting busy bursts."""
+        if self._running:
+            return
+        self._running = True
+        self.radio.set_listening()
+        self.sim.schedule(self._rng.expovariate(1.0 / self.config.mean_gap_s()),
+                          self._burst)
+
+    def stop(self) -> None:
+        """Cease interfering after the current burst."""
+        self._running = False
+
+    def _burst(self) -> None:
+        if not self._running:
+            return
+        airtime = self.config.burst_airtime_s
+        size_bytes = max(1, int(airtime * 250_000 / 8))
+        frame = Frame(
+            payload=None,
+            size_bytes=size_bytes,
+            channel=0,
+            sender=self.radio.node_id,
+            jam_channels=self.jam_channels,
+        )
+        if self.radio.state is not RadioState.TX:
+            self.medium.transmit(self.radio, frame)
+            self.bursts_sent += 1
+        gap = self._rng.expovariate(1.0 / self.config.mean_gap_s())
+        self.sim.schedule(airtime + gap, self._burst)

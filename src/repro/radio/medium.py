@@ -1,0 +1,372 @@
+"""The shared wireless broadcast medium.
+
+All radios attached to a :class:`Medium` share spectrum.  A transmission
+is delivered to a receiver iff, for the whole frame airtime, the
+receiver was listening on the frame's channel, no colliding transmission
+was audible above the capture margin, and a Bernoulli draw against the
+link's PRR succeeds.  Carrier sense (CCA) consults the same picture, so
+MAC protocols see a consistent channel.
+
+Radios also account the time they spend in each state; the device energy
+model (:mod:`repro.devices.energy`) converts those residencies into
+charge drawn, which drives the funnel-effect and lifetime experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.radio.propagation import LinkQualityModel, Position
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+#: 802.15.4 PHY: 250 kbit/s.
+BITRATE_BPS = 250_000
+#: Preamble + SFD + PHY header + MAC footer, charged to every frame.
+PHY_OVERHEAD_BYTES = 11
+#: RSSI below this is inaudible: neither receivable nor interfering.
+AUDIBLE_THRESHOLD_DBM = -100.0
+#: Clear-channel-assessment threshold.
+CCA_THRESHOLD_DBM = -85.0
+#: A frame survives a collision if it is this much stronger than the
+#: strongest interferer (capture effect).
+CAPTURE_MARGIN_DB = 6.0
+
+
+class RadioState(enum.Enum):
+    """Operating state of a radio transceiver."""
+
+    SLEEP = "sleep"
+    LISTEN = "listen"
+    TX = "tx"
+
+
+@dataclass
+class Frame:
+    """A physical-layer frame.
+
+    ``channel`` is the 802.15.4 channel the frame is sent on; wide-band
+    interferers (Wi-Fi) instead set ``jam_channels`` to the set of
+    802.15.4 channels they blanket — such frames are never *received*,
+    only interfere.
+    """
+
+    payload: Any
+    size_bytes: int
+    channel: int
+    sender: int
+    jam_channels: FrozenSet[int] = frozenset()
+
+    @property
+    def airtime(self) -> float:
+        """Frame airtime in seconds at the 802.15.4 PHY rate."""
+        return (PHY_OVERHEAD_BYTES + self.size_bytes) * 8 / BITRATE_BPS
+
+    def interferes_with(self, channel: int) -> bool:
+        """True if the frame occupies ``channel`` (directly or by jamming)."""
+        return channel == self.channel or channel in self.jam_channels
+
+
+@dataclass
+class _Transmission:
+    radio: "Radio"
+    frame: Frame
+    start: float
+    end: float
+
+
+class Radio:
+    """One node's transceiver, attached to a :class:`Medium`.
+
+    The MAC layer drives the state machine via :meth:`set_listening` /
+    :meth:`sleep` / :meth:`transmit` and receives frames through the
+    ``on_receive(frame, rssi_dbm)`` callback.
+    """
+
+    def __init__(
+        self,
+        medium: "Medium",
+        node_id: int,
+        position: Position,
+        tx_power_dbm: float = 0.0,
+        channel: int = 26,
+    ) -> None:
+        self.medium = medium
+        self.node_id = node_id
+        self.position = position
+        self.tx_power_dbm = tx_power_dbm
+        self.channel = channel
+        self.on_receive: Optional[Callable[[Frame, float], None]] = None
+        self.enabled = True
+        self.state = RadioState.SLEEP
+        self.state_seconds: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        self._state_since = medium.sim.now
+        self._listen_since = float("inf")
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        medium._attach(self)
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+    def _set_state(self, state: RadioState) -> None:
+        now = self.medium.sim.now
+        self.state_seconds[self.state] += now - self._state_since
+        self._state_since = now
+        if state is RadioState.LISTEN and self.state is not RadioState.LISTEN:
+            self._listen_since = now
+        if state is not RadioState.LISTEN:
+            self._listen_since = float("inf")
+        self.state = state
+
+    def set_listening(self) -> None:
+        """Enter receive mode (idle listening draws real current).
+
+        A no-op while transmitting: the radio returns to LISTEN when the
+        in-flight frame ends, so the request is already satisfied.
+        """
+        if self.state is RadioState.TX:
+            return
+        if self.state is not RadioState.LISTEN:
+            self._set_state(RadioState.LISTEN)
+
+    def sleep(self) -> None:
+        """Power the transceiver down."""
+        if self.state is RadioState.TX:
+            raise RuntimeError(f"radio {self.node_id} busy transmitting")
+        if self.state is not RadioState.SLEEP:
+            self._set_state(RadioState.SLEEP)
+
+    def flush_state_time(self) -> Dict[RadioState, float]:
+        """Account time up to now and return the per-state residencies."""
+        self._set_state(self.state)
+        return dict(self.state_seconds)
+
+    # ------------------------------------------------------------------
+    # channel access
+    # ------------------------------------------------------------------
+    def carrier_busy(self) -> bool:
+        """Clear channel assessment on this radio's channel."""
+        return self.medium.carrier_busy(self)
+
+    def transmit(
+        self,
+        payload: Any,
+        size_bytes: int,
+        done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Send a frame; returns its airtime.
+
+        The radio enters TX for the airtime and then returns to LISTEN
+        (the MAC decides whether to sleep afterwards).  ``done`` fires
+        when the transmission completes.
+        """
+        frame = Frame(
+            payload=payload,
+            size_bytes=size_bytes,
+            channel=self.channel,
+            sender=self.node_id,
+        )
+        return self.medium.transmit(self, frame, done)
+
+
+class Medium:
+    """The shared spectrum connecting all attached radios.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (time + randomness source).
+    model:
+        Link-quality model mapping geometry to RSSI and PRR.
+    trace:
+        Optional trace log; the medium emits ``radio.tx``, ``radio.rx``,
+        ``radio.collision``, and ``radio.miss`` records.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: LinkQualityModel,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.radios: Dict[int, Radio] = {}
+        self._active: List[_Transmission] = []
+        self._rssi_cache: Dict[Tuple[int, int], float] = {}
+        self._audible_cache: Dict[int, List[Tuple[Radio, float]]] = {}
+        self._rng = sim.substream("radio.medium")
+        #: Optional fault hook: ``(sender_id, receiver_id) -> True`` cuts
+        #: the link (partition experiments).  Set via set_link_filter.
+        self._link_filter: Optional[Callable[[int, int], bool]] = None
+
+    def set_link_filter(self, blocked: Optional[Callable[[int, int], bool]]) -> None:
+        """Install (or clear, with None) a link-blocking predicate.
+
+        Blocked links carry nothing: no frames, no carrier, no
+        interference — the physical-cut abstraction the partition
+        experiments need.
+        """
+        self._link_filter = blocked
+        self._audible_cache.clear()
+
+    def _blocked(self, sender_id: int, receiver_id: int) -> bool:
+        return self._link_filter is not None and self._link_filter(
+            sender_id, receiver_id
+        )
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def _attach(self, radio: Radio) -> None:
+        if radio.node_id in self.radios:
+            raise ValueError(f"duplicate radio id {radio.node_id}")
+        self.radios[radio.node_id] = radio
+        self._audible_cache.clear()
+
+    def rssi_between(self, sender: Radio, receiver: Radio) -> float:
+        """Cached RSSI of ``sender`` as heard by ``receiver``."""
+        key = (sender.node_id, receiver.node_id)
+        value = self._rssi_cache.get(key)
+        if value is None:
+            value = self.model.rssi_dbm(
+                sender.position, receiver.position, sender.tx_power_dbm
+            )
+            self._rssi_cache[key] = value
+        return value
+
+    def audible_from(self, sender: Radio) -> List[Tuple[Radio, float]]:
+        """Radios that can hear ``sender`` at all, with their RSSI."""
+        cached = self._audible_cache.get(sender.node_id)
+        if cached is None:
+            cached = []
+            for radio in self.radios.values():
+                if radio is sender:
+                    continue
+                if self._blocked(sender.node_id, radio.node_id):
+                    continue
+                rssi = self.rssi_between(sender, radio)
+                if rssi >= AUDIBLE_THRESHOLD_DBM:
+                    cached.append((radio, rssi))
+            self._audible_cache[sender.node_id] = cached
+        return cached
+
+    def link_prr(self, sender_id: int, receiver_id: int) -> float:
+        """Packet reception ratio of the directed link, ignoring collisions.
+
+        Unknown endpoints report 0.0: a peer without a radio on this
+        medium (e.g. one only ever heard about in a forged or stale
+        control message) is by definition unreachable.
+        """
+        sender = self.radios.get(sender_id)
+        receiver = self.radios.get(receiver_id)
+        if sender is None or receiver is None:
+            return 0.0
+        return self.model.reception_probability(self.rssi_between(sender, receiver))
+
+    # ------------------------------------------------------------------
+    # channel activity
+    # ------------------------------------------------------------------
+    def _gc_active(self) -> None:
+        now = self.sim.now
+        if len(self._active) > 32:
+            self._active = [t for t in self._active if t.end > now]
+
+    def carrier_busy(self, radio: Radio) -> bool:
+        """True if any audible transmission occupies ``radio``'s channel."""
+        now = self.sim.now
+        for tx in self._active:
+            if tx.end <= now or tx.radio is radio:
+                continue
+            if not tx.frame.interferes_with(radio.channel):
+                continue
+            if self._blocked(tx.radio.node_id, radio.node_id):
+                continue
+            if self.rssi_between(tx.radio, radio) >= CCA_THRESHOLD_DBM:
+                return True
+        return False
+
+    def transmit(
+        self,
+        radio: Radio,
+        frame: Frame,
+        done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Put ``frame`` on the air from ``radio``."""
+        if not radio.enabled:
+            raise RuntimeError(f"radio {radio.node_id} is disabled (node failed)")
+        if radio.state is RadioState.TX:
+            raise RuntimeError(f"radio {radio.node_id} already transmitting")
+        self._gc_active()
+        now = self.sim.now
+        airtime = frame.airtime
+        tx = _Transmission(radio=radio, frame=frame, start=now, end=now + airtime)
+        self._active.append(tx)
+        radio._set_state(RadioState.TX)
+        radio.frames_sent += 1
+        radio.bytes_sent += frame.size_bytes
+        self.trace.emit(now, "radio.tx", node=radio.node_id, size=frame.size_bytes,
+                        channel=frame.channel)
+
+        receivers = [] if frame.jam_channels else list(self.audible_from(radio))
+
+        def finish() -> None:
+            radio._set_state(RadioState.LISTEN)
+            for receiver, rssi in receivers:
+                self._try_deliver(tx, receiver, rssi)
+            if done is not None:
+                done()
+
+        self.sim.schedule(airtime, finish)
+        return airtime
+
+    def _try_deliver(self, tx: _Transmission, receiver: Radio, rssi: float) -> None:
+        frame = tx.frame
+        if not receiver.enabled:
+            return
+        if receiver.channel != frame.channel:
+            return
+        if receiver.state is not RadioState.LISTEN or receiver._listen_since > tx.start:
+            # Slept through (part of) the frame — the duty-cycling cost.
+            self.trace.emit(self.sim.now, "radio.miss", node=receiver.node_id,
+                            sender=frame.sender)
+            return
+        interferer_rssi = self._strongest_interferer(tx, receiver)
+        if interferer_rssi is not None and rssi - interferer_rssi < CAPTURE_MARGIN_DB:
+            self.trace.emit(self.sim.now, "radio.collision", node=receiver.node_id,
+                            sender=frame.sender)
+            return
+        if self._rng.random() > self.model.reception_probability(rssi):
+            self.trace.emit(self.sim.now, "radio.drop", node=receiver.node_id,
+                            sender=frame.sender)
+            return
+        receiver.frames_received += 1
+        self.trace.emit(self.sim.now, "radio.rx", node=receiver.node_id,
+                        sender=frame.sender, size=frame.size_bytes)
+        if receiver.on_receive is not None:
+            receiver.on_receive(frame, rssi)
+
+    def _strongest_interferer(
+        self, tx: _Transmission, receiver: Radio
+    ) -> Optional[float]:
+        strongest: Optional[float] = None
+        for other in self._active:
+            if other is tx or other.radio is receiver:
+                continue
+            if other.end <= tx.start or other.start >= tx.end:
+                continue
+            if not other.frame.interferes_with(tx.frame.channel):
+                continue
+            if self._blocked(other.radio.node_id, receiver.node_id):
+                continue
+            rssi = self.rssi_between(other.radio, receiver)
+            if rssi < AUDIBLE_THRESHOLD_DBM:
+                continue
+            if strongest is None or rssi > strongest:
+                strongest = rssi
+        return strongest

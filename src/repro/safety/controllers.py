@@ -1,0 +1,116 @@
+"""HVAC control policies.
+
+All controllers share one contract: given the measured temperature (and
+the time), produce heat/cool fractions in [0, 1].  The policies span the
+tradeoff E8 sweeps — from the rigid thermostat to the occupancy-aware
+setback policy that "deliberately violates margins to minimize energy
+consumption".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.safety.comfort import ComfortBand, OccupancySchedule
+
+
+class Controller(abc.ABC):
+    """A control policy: temperature → (heat_fraction, cool_fraction)."""
+
+    @abc.abstractmethod
+    def control(self, temperature_c: float, time_s: float) -> Tuple[float, float]:
+        """Compute actuation for the current measurement."""
+
+
+@dataclass
+class BangBangController(Controller):
+    """Thermostat with hysteresis around the band edges."""
+
+    band: ComfortBand
+    hysteresis_c: float = 0.5
+
+    def __post_init__(self) -> None:
+        self._heating = False
+        self._cooling = False
+
+    def control(self, temperature_c: float, time_s: float) -> Tuple[float, float]:
+        if temperature_c < self.band.lower_c:
+            self._heating = True
+        elif temperature_c > self.band.lower_c + self.hysteresis_c:
+            self._heating = False
+        if temperature_c > self.band.upper_c:
+            self._cooling = True
+        elif temperature_c < self.band.upper_c - self.hysteresis_c:
+            self._cooling = False
+        return (1.0 if self._heating else 0.0, 1.0 if self._cooling else 0.0)
+
+
+@dataclass
+class PIController(Controller):
+    """Proportional-integral control toward the band midpoint."""
+
+    band: ComfortBand
+    kp: float = 0.8
+    ki: float = 0.002
+    #: Anti-windup clamp on the integral term.
+    integral_limit: float = 400.0
+    sample_period_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        self._integral = 0.0
+
+    def control(self, temperature_c: float, time_s: float) -> Tuple[float, float]:
+        error = self.band.midpoint_c - temperature_c
+        self._integral += error * self.sample_period_s
+        self._integral = max(-self.integral_limit,
+                             min(self.integral_limit, self._integral))
+        output = self.kp * error + self.ki * self._integral
+        if output >= 0:
+            return (min(output, 1.0), 0.0)
+        return (0.0, min(-output, 1.0))
+
+
+@dataclass
+class SetbackController(Controller):
+    """Occupancy-aware setback: soft margins when nobody is there.
+
+    Wraps an inner policy, switching between the strict band (occupied)
+    and a widened band (empty), with a warm-up lead before occupancy
+    begins so the zone re-enters the strict band in time.
+    """
+
+    band: ComfortBand
+    schedule: OccupancySchedule
+    setback_margin_c: float = 4.0
+    warmup_lead_s: float = 3600.0
+    hysteresis_c: float = 0.5
+
+    def __post_init__(self) -> None:
+        self._strict = BangBangController(self.band, self.hysteresis_c)
+        self._relaxed = BangBangController(
+            self.band.widened(self.setback_margin_c), self.hysteresis_c
+        )
+
+    def _strict_mode(self, time_s: float) -> bool:
+        if self.schedule.occupied(time_s):
+            return True
+        # Look ahead: pre-heat/cool before people arrive.
+        return self.schedule.occupied(time_s + self.warmup_lead_s)
+
+    def control(self, temperature_c: float, time_s: float) -> Tuple[float, float]:
+        policy = self._strict if self._strict_mode(time_s) else self._relaxed
+        return policy.control(temperature_c, time_s)
+
+
+@dataclass
+class FixedOutputController(Controller):
+    """Constant actuation — the fallback a partitioned zone can apply
+    when it cannot reach its remote controller (fails safe, §V-C)."""
+
+    heat_fraction: float = 0.0
+    cool_fraction: float = 0.0
+
+    def control(self, temperature_c: float, time_s: float) -> Tuple[float, float]:
+        return (self.heat_fraction, self.cool_fraction)

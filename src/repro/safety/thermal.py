@@ -1,0 +1,100 @@
+"""Lumped-RC thermal model of a building zone.
+
+One thermal mass per zone: ``C dT/dt = (T_out − T)/R + Q``.  This is the
+standard first-order substitute for a real plant (DESIGN.md substitution
+table); it exhibits exactly the lag/overshoot dynamics that make the
+comfort-vs-energy tradeoff non-trivial.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Zone physics parameters."""
+
+    #: Thermal resistance to outside, K/W.
+    resistance_k_per_w: float = 0.02
+    #: Thermal capacitance, J/K (~a small office).
+    capacitance_j_per_k: float = 2.0e6
+    #: Heater maximum power, W.
+    heater_max_w: float = 3000.0
+    #: Cooling maximum power (extracted), W.
+    cooler_max_w: float = 3000.0
+    #: Integration step, s.
+    step_s: float = 60.0
+    #: Internal gains per occupant, W.
+    occupant_gain_w: float = 100.0
+
+    def validate(self) -> None:
+        if min(self.resistance_k_per_w, self.capacitance_j_per_k, self.step_s) <= 0:
+            raise ValueError("physical parameters must be positive")
+
+
+class ThermalZone:
+    """One zone's integrating thermal state.
+
+    ``heat_fraction`` / ``cool_fraction`` in [0, 1] are set by the HVAC
+    actuators; ``outside`` and ``occupants`` are callables sampled each
+    step, so the zone composes with phenomena and occupancy schedules.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        outside: Callable[[float], float],
+        occupants: Optional[Callable[[float], int]] = None,
+        config: Optional[ThermalConfig] = None,
+        initial_temp_c: float = 18.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.outside = outside
+        self.occupants = occupants if occupants is not None else (lambda t: 0)
+        self.config = config if config is not None else ThermalConfig()
+        self.config.validate()
+        self.temperature_c = initial_temp_c
+        self.heat_fraction = 0.0
+        self.cool_fraction = 0.0
+        self.energy_used_j = 0.0
+        self._stepper = PeriodicTimer(sim, self.config.step_s, self._step, phase=0.0)
+
+    def start(self) -> None:
+        """Begin integrating the zone physics."""
+        self._stepper.start()
+
+    def stop(self) -> None:
+        self._stepper.stop()
+
+    def _step(self) -> None:
+        cfg = self.config
+        now = self.sim.now
+        t_out = self.outside(now)
+        q_hvac = (
+            self.heat_fraction * cfg.heater_max_w
+            - self.cool_fraction * cfg.cooler_max_w
+        )
+        q_internal = self.occupants(now) * cfg.occupant_gain_w
+        # Exact solution of the linear ODE over one step (stable for any
+        # step size, unlike forward Euler).
+        tau = cfg.resistance_k_per_w * cfg.capacitance_j_per_k
+        q_total = q_hvac + q_internal
+        equilibrium = t_out + q_total * cfg.resistance_k_per_w
+        decay = math.exp(-cfg.step_s / tau)
+        self.temperature_c = equilibrium + (self.temperature_c - equilibrium) * decay
+        self.energy_used_j += (
+            abs(self.heat_fraction) * cfg.heater_max_w
+            + abs(self.cool_fraction) * cfg.cooler_max_w
+        ) * cfg.step_s
+
+    @property
+    def energy_used_kwh(self) -> float:
+        return self.energy_used_j / 3.6e6

@@ -1,0 +1,33 @@
+"""Security at the sensing and actuation layer (paper §V-E).
+
+The paper notes that 802.15.4-family standards *include* secure modes
+but they are *hardly implemented* because of resource constraints.  This
+package provides the pieces to quantify that tension:
+
+- :mod:`repro.security.keys` / :mod:`repro.security.auth` — link-layer
+  frame authentication (network-wide key, per-frame MIC) pluggable into
+  any MAC via its ``frame_filter`` hook;
+- :mod:`repro.security.crypto_cost` — the CPU/energy/latency price of
+  software crypto on Class-1 hardware (experiment E11's overhead axis);
+- :mod:`repro.security.attacks` — command injection and jamming
+  adversaries (E11's impact axis);
+- :mod:`repro.security.detector` — a lightweight anomaly monitor.
+"""
+
+from repro.security.attacks import CommandInjector, Jammer, ReplayAttacker
+from repro.security.auth import AuthConfig, FrameAuthenticator
+from repro.security.crypto_cost import CryptoCostModel, SOFTWARE_AES_CLASS1
+from repro.security.detector import AnomalyDetector
+from repro.security.keys import KeyStore
+
+__all__ = [
+    "AnomalyDetector",
+    "AuthConfig",
+    "CommandInjector",
+    "CryptoCostModel",
+    "FrameAuthenticator",
+    "Jammer",
+    "KeyStore",
+    "ReplayAttacker",
+    "SOFTWARE_AES_CLASS1",
+]

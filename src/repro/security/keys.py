@@ -1,0 +1,34 @@
+"""Key material and provisioning."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class KeyStore:
+    """Per-node key storage: a network-wide key plus pairwise keys.
+
+    Keys are opaque integers — the simulator never does real crypto, it
+    models *possession*: a tag computed under key K verifies only
+    against the same K.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.network_key: Optional[int] = None
+        self.pairwise: Dict[int, int] = {}
+
+    def provision_network_key(self, key: int) -> None:
+        """Install the network-wide key (commissioning step)."""
+        self.network_key = key
+
+    def provision_pairwise(self, peer: int, key: int) -> None:
+        self.pairwise[peer] = key
+
+    def key_for(self, peer: int) -> Optional[int]:
+        """Best key for a peer: pairwise if provisioned, else network."""
+        return self.pairwise.get(peer, self.network_key)
+
+    @property
+    def provisioned(self) -> bool:
+        return self.network_key is not None or bool(self.pairwise)

@@ -1,0 +1,117 @@
+"""Restartable timers on top of the kernel.
+
+Protocol code wants timers it can arm, re-arm, and cancel by name —
+Trickle intervals, MAC wakeups, CoAP retransmissions, watchdogs.  These
+wrappers manage the underlying :class:`~repro.sim.kernel.EventHandle`
+lifecycle so protocol modules never touch the heap directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class Timer:
+    """A one-shot, restartable timer.
+
+    Restarting an armed timer cancels the previous deadline — the common
+    "push the watchdog" idiom.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer will still fire."""
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute fire time, or None when disarmed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A fixed-period repeating timer with optional random phase.
+
+    The first firing happens after ``phase`` seconds (drawn uniformly in
+    ``[0, period)`` when not given, to avoid artificial synchronization
+    between nodes — a classic simulation artifact this kernel must not
+    exhibit).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        phase: Optional[float] = None,
+        rng_stream: str = "periodic-timer",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        if phase is None:
+            phase = sim.substream(rng_stream).uniform(0.0, period)
+        self._phase = phase
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @period.setter
+    def period(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("period must be positive")
+        self._period = value
+
+    def start(self) -> None:
+        """Start the periodic schedule.  Idempotent while running."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self._sim.schedule(self._phase, self._tick)
+
+    def stop(self) -> None:
+        """Stop firing.  Idempotent."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._handle = self._sim.schedule(self._period, self._tick)
+        self._callback()

@@ -1,0 +1,96 @@
+"""Structured event tracing.
+
+Every layer of the stack emits trace records (packet sent, parent
+changed, comfort violated, ...).  Experiments and tests query the trace
+instead of instrumenting protocol internals, which keeps measurement
+code out of the protocols themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the occurrence.
+    category:
+        Dotted namespace, e.g. ``"mac.tx"`` or ``"rpl.parent_change"``.
+    node:
+        Originating node id, or None for system-wide records.
+    data:
+        Free-form payload describing the occurrence.
+    """
+
+    time: float
+    category: str
+    node: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """An append-only log of :class:`TraceRecord` with query helpers.
+
+    Set ``enabled = False`` to turn recording off (benchmarks that only
+    need counters do this); counters keep accumulating either way.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self.counters: Dict[str, int] = {}
+        self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **data: Any,
+    ) -> None:
+        """Record one occurrence and notify subscribers."""
+        self.counters[category] = self.counters.get(category, 0) + 1
+        record = TraceRecord(time=time, category=category, node=node, data=data)
+        if self.enabled:
+            self.records.append(record)
+        for callback in self._subscribers.get(category, ()):
+            callback(record)
+
+    def subscribe(self, category: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record in ``category``."""
+        self._subscribers.setdefault(category, []).append(callback)
+
+    def count(self, category: str) -> int:
+        """Total records emitted in ``category`` (even while disabled)."""
+        return self.counters.get(category, 0)
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> Iterator[TraceRecord]:
+        """Iterate stored records matching the filters."""
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if node is not None and record.node != node:
+                continue
+            if not (since <= record.time <= until):
+                continue
+            yield record
+
+    def clear(self) -> None:
+        """Drop stored records and counters."""
+        self.records.clear()
+        self.counters.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

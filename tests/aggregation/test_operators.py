@@ -1,0 +1,47 @@
+"""Aggregate operator algebra."""
+
+import pytest
+
+from repro.aggregation.operators import AVG, COUNT, MAX, MIN, OPERATORS, SUM
+
+
+class TestOperators:
+    def test_registry_complete(self):
+        assert set(OPERATORS) == {"min", "max", "sum", "count", "avg"}
+
+    def test_min_max(self):
+        values = [3.0, -1.0, 7.5, 2.0]
+        assert MIN.finalize(MIN.fold(values)) == -1.0
+        assert MAX.finalize(MAX.fold(values)) == 7.5
+
+    def test_sum_count(self):
+        values = [1.0, 2.0, 3.0]
+        assert SUM.finalize(SUM.fold(values)) == 6.0
+        assert COUNT.finalize(COUNT.fold(values)) == 3.0
+
+    def test_avg(self):
+        values = [2.0, 4.0, 9.0]
+        assert AVG.finalize(AVG.fold(values)) == pytest.approx(5.0)
+
+    def test_avg_merge_is_weighted(self):
+        # (2 values avg 3) merged with (1 value avg 9) -> avg 5, not 6.
+        left = AVG.fold([2.0, 4.0])
+        right = AVG.fold([9.0])
+        merged = AVG.merge(left, right)
+        assert AVG.finalize(merged) == pytest.approx(5.0)
+
+    def test_merge_associativity(self):
+        for op in OPERATORS.values():
+            a = op.initialize(1.0)
+            b = op.initialize(5.0)
+            c = op.initialize(3.0)
+            left = op.merge(op.merge(a, b), c)
+            right = op.merge(a, op.merge(b, c))
+            assert op.finalize(left) == pytest.approx(op.finalize(right))
+
+    def test_partial_state_is_constant_size(self):
+        for op in OPERATORS.values():
+            assert op.state_bytes <= 8
+
+    def test_fold_empty_returns_none(self):
+        assert MIN.fold([]) is None

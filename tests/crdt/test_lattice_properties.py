@@ -1,0 +1,179 @@
+"""Property-based verification of the CRDT lattice laws.
+
+For every state-based type we check, over randomized operation
+histories, that merge is commutative, associative, and idempotent in its
+*effect on the resolved value* — the properties that guarantee replica
+convergence regardless of gossip order, duplication, or delay.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crdt.counters import GCounter, PNCounter
+from repro.crdt.maps import LWWMap
+from repro.crdt.registers import LWWRegister
+from repro.crdt.sets import GSet, ORSet
+
+
+# ----------------------------------------------------------------------
+# operation-history strategies
+# ----------------------------------------------------------------------
+def build_gcounter(replica_id, amounts):
+    counter = GCounter(replica_id)
+    for amount in amounts:
+        counter.increment(amount)
+    return counter
+
+
+def build_pncounter(replica_id, deltas):
+    counter = PNCounter(replica_id)
+    for delta in deltas:
+        if delta >= 0:
+            counter.increment(delta)
+        else:
+            counter.decrement(-delta)
+    return counter
+
+
+def build_gset(items):
+    s = GSet()
+    for item in items:
+        s.add(item)
+    return s
+
+
+def build_orset(replica_id, ops):
+    s = ORSet(replica_id)
+    for add, item in ops:
+        if add:
+            s.add(item)
+        else:
+            s.remove(item)
+    return s
+
+
+def build_lww(replica_id, writes):
+    register = LWWRegister(replica_id)
+    for value, stamp in writes:
+        register.set(value, stamp)
+    return register
+
+
+def build_map(replica_id, writes):
+    m = LWWMap(replica_id)
+    for key, value, stamp in writes:
+        m.set(key, value, stamp)
+    return m
+
+
+amounts = st.lists(st.integers(min_value=0, max_value=20), max_size=6)
+deltas = st.lists(st.integers(min_value=-10, max_value=10), max_size=6)
+items = st.lists(st.integers(min_value=0, max_value=5), max_size=6)
+orops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=3)),
+    max_size=8,
+)
+writes = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.floats(min_value=0, max_value=100, allow_nan=False)),
+    max_size=5,
+)
+map_writes = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=0, max_value=9),
+              st.floats(min_value=0, max_value=100, allow_nan=False)),
+    max_size=6,
+)
+
+CASES = [
+    ("gcounter", amounts, lambda rid, ops: build_gcounter(rid, ops)),
+    ("pncounter", deltas, lambda rid, ops: build_pncounter(rid, ops)),
+    ("gset", items, lambda rid, ops: build_gset(ops)),
+    ("orset", orops, lambda rid, ops: build_orset(rid, ops)),
+    ("lww", writes, lambda rid, ops: build_lww(rid, ops)),
+    ("lwwmap", map_writes, lambda rid, ops: build_map(rid, ops)),
+]
+
+
+def _check_commutative(build, ops_a, ops_b):
+    left = build(1, ops_a)
+    left.merge(build(2, ops_b))
+    right = build(2, ops_b)
+    right.merge(build(1, ops_a))
+    assert left.value() == right.value()
+
+
+def _check_associative(build, ops_a, ops_b, ops_c):
+    left = build(1, ops_a)
+    bc = build(2, ops_b)
+    bc.merge(build(3, ops_c))
+    left.merge(bc)
+
+    right = build(1, ops_a)
+    right.merge(build(2, ops_b))
+    right.merge(build(3, ops_c))
+    assert left.value() == right.value()
+
+
+def _check_idempotent(build, ops_a, ops_b):
+    replica = build(1, ops_a)
+    other = build(2, ops_b)
+    replica.merge(other)
+    value = replica.value()
+    replica.merge(other)
+    replica.merge(other.copy())
+    assert replica.value() == value
+
+
+def _check_convergence(build, ops_a, ops_b):
+    """Full state exchange in both directions converges both replicas."""
+    a = build(1, ops_a)
+    b = build(2, ops_b)
+    a_snapshot = a.copy()
+    a.merge(b)
+    b.merge(a_snapshot)
+    b.merge(a)  # second round settles asymmetric first-round views
+    a.merge(b)
+    assert a.value() == b.value()
+
+
+def _bind_case(strategy, build):
+    """Build the four law tests for one CRDT type (closure, not default
+    args — hypothesis rejects @given on functions with defaults)."""
+
+    @given(ops_a=strategy, ops_b=strategy)
+    @settings(max_examples=60, deadline=None)
+    def commutative(ops_a, ops_b):
+        _check_commutative(build, ops_a, ops_b)
+
+    @given(ops_a=strategy, ops_b=strategy, ops_c=strategy)
+    @settings(max_examples=60, deadline=None)
+    def associative(ops_a, ops_b, ops_c):
+        _check_associative(build, ops_a, ops_b, ops_c)
+
+    @given(ops_a=strategy, ops_b=strategy)
+    @settings(max_examples=60, deadline=None)
+    def idempotent(ops_a, ops_b):
+        _check_idempotent(build, ops_a, ops_b)
+
+    @given(ops_a=strategy, ops_b=strategy)
+    @settings(max_examples=60, deadline=None)
+    def convergent(ops_a, ops_b):
+        _check_convergence(build, ops_a, ops_b)
+
+    return commutative, associative, idempotent, convergent
+
+
+def _make_tests():
+    tests = {}
+    for name, strategy, build in CASES:
+        commutative, associative, idempotent, convergent = _bind_case(
+            strategy, build
+        )
+        tests[f"test_{name}_merge_commutative"] = commutative
+        tests[f"test_{name}_merge_associative"] = associative
+        tests[f"test_{name}_merge_idempotent"] = idempotent
+        tests[f"test_{name}_replicas_converge"] = convergent
+    return tests
+
+
+globals().update(_make_tests())

@@ -1,0 +1,90 @@
+"""Set CRDT unit behaviour, especially OR-Set add/remove semantics."""
+
+import pytest
+
+from repro.crdt.sets import GSet, ORSet, TwoPhaseSet
+
+
+class TestGSet:
+    def test_add_and_membership(self):
+        s = GSet()
+        s.add("x")
+        assert "x" in s
+        assert s.value() == frozenset({"x"})
+
+    def test_merge_unions(self):
+        a, b = GSet(), GSet()
+        a.add(1)
+        b.add(2)
+        assert a.merge(b)
+        assert a.value() == frozenset({1, 2})
+
+
+class TestTwoPhaseSet:
+    def test_remove_is_final(self):
+        s = TwoPhaseSet()
+        s.add("x")
+        s.remove("x")
+        assert "x" not in s
+        with pytest.raises(ValueError):
+            s.add("x")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            TwoPhaseSet().remove("ghost")
+
+    def test_merge_propagates_tombstones(self):
+        a, b = TwoPhaseSet(), TwoPhaseSet()
+        a.add("x")
+        b.merge(a)
+        b.remove("x")
+        a.merge(b)
+        assert "x" not in a
+
+
+class TestORSet:
+    def test_add_remove_add_readds(self):
+        s = ORSet(1)
+        s.add("x")
+        s.remove("x")
+        assert "x" not in s
+        s.add("x")  # unlike 2P-Set, re-add works
+        assert "x" in s
+
+    def test_concurrent_add_wins_over_remove(self):
+        a, b = ORSet(1), ORSet(2)
+        a.add("x")
+        b.merge(a)
+        # Concurrently: b removes the x it observed, a adds x again.
+        b.remove("x")
+        a.add("x")
+        a.merge(b)
+        b.merge(a)
+        assert "x" in a and "x" in b  # the concurrent add survives
+
+    def test_observed_remove_removes_everywhere(self):
+        a, b = ORSet(1), ORSet(2)
+        a.add("x")
+        b.merge(a)
+        b.remove("x")
+        a.merge(b)
+        assert "x" not in a
+
+    def test_merge_idempotent(self):
+        a, b = ORSet(1), ORSet(2)
+        b.add("y")
+        assert a.merge(b)
+        assert not a.merge(b)
+
+    def test_copy_isolation(self):
+        a = ORSet(1)
+        a.add("x")
+        clone = a.copy()
+        clone.remove("x")
+        assert "x" in a
+        assert "x" not in clone
+
+    def test_remove_unknown_is_noop(self):
+        s = ORSet(1)
+        s.remove("ghost")  # OR-Set remove of unobserved item: nothing
+        assert s.value() == frozenset()

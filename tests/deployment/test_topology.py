@@ -1,0 +1,123 @@
+"""Topology generators and rollout plans."""
+
+import pytest
+
+from repro.deployment.rollout import RolloutPlan, RolloutStage
+from repro.deployment.topology import (
+    Topology,
+    building_topology,
+    clustered_site_topology,
+    grid_topology,
+    line_topology,
+    random_topology,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestGenerators:
+    def test_line(self):
+        topology = line_topology(5, spacing_m=10.0)
+        assert topology.size == 5
+        assert topology.positions[4] == (40.0, 0.0)
+        assert topology.is_connected(15.0)
+
+    def test_grid(self):
+        topology = grid_topology(4, spacing_m=20.0)
+        assert topology.size == 16
+        assert topology.positions[5] == (20.0, 20.0)
+        assert topology.is_connected(25.0)
+
+    def test_random_is_connected_and_deterministic(self):
+        a = random_topology(30, area_m=100.0, radio_range_m=30.0, seed=5)
+        b = random_topology(30, area_m=100.0, radio_range_m=30.0, seed=5)
+        assert a.positions == b.positions
+        assert a.is_connected(30.0)
+
+    def test_random_impossible_raises(self):
+        with pytest.raises(RuntimeError):
+            random_topology(3, area_m=10_000.0, radio_range_m=10.0,
+                            max_attempts=3)
+
+    def test_clustered_site_connected(self):
+        topology = clustered_site_topology(4, 6, seed=2)
+        assert topology.size == 25
+        assert topology.is_connected(30.0)
+
+    def test_building(self):
+        topology = building_topology(3, 5)
+        assert topology.size == 16
+        assert topology.is_connected(25.0)
+
+    def test_depth_grows_with_size(self):
+        small = line_topology(5).network_depth(25.0)
+        large = line_topology(20).network_depth(25.0)
+        assert large > small
+
+    def test_root_must_have_position(self):
+        with pytest.raises(ValueError):
+            Topology(positions={1: (0.0, 0.0)}, root_id=0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            line_topology(0)
+        with pytest.raises(ValueError):
+            grid_topology(0)
+        with pytest.raises(ValueError):
+            building_topology(0, 3)
+
+
+class TestRollout:
+    def test_geometric_plan_covers_everything_once(self):
+        topology = grid_topology(5)
+        plan = RolloutPlan.geometric(topology, pilot_size=3, growth_factor=3)
+        plan.validate()
+        covered = [n for stage in plan.stages for n in stage.node_ids]
+        assert sorted(covered) == topology.node_ids()[1:]
+        assert plan.stages[0].size == 3
+        assert plan.stages[1].size == 9
+
+    def test_cumulative_size(self):
+        topology = grid_topology(4)
+        plan = RolloutPlan.geometric(topology, pilot_size=5, growth_factor=2)
+        assert plan.cumulative_size(0) == 5
+        assert plan.cumulative_size(1) == 15
+
+    def test_duplicate_node_rejected(self):
+        topology = line_topology(4)
+        plan = RolloutPlan(topology, [
+            RolloutStage("a", 0.0, [1, 2]),
+            RolloutStage("b", 10.0, [2, 3]),
+        ])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_out_of_order_stages_rejected(self):
+        topology = line_topology(4)
+        plan = RolloutPlan(topology, [
+            RolloutStage("a", 10.0, [1]),
+            RolloutStage("b", 0.0, [2]),
+        ])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_unknown_node_rejected(self):
+        topology = line_topology(3)
+        plan = RolloutPlan(topology, [RolloutStage("a", 0.0, [99])])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_execute_activates_on_schedule(self, sim):
+        topology = line_topology(8)  # 7 non-root -> stages of 2, 4, 1
+        plan = RolloutPlan.geometric(topology, pilot_size=2, growth_factor=2,
+                                     stage_interval_s=100.0)
+        activated = []
+        stages_done = []
+        plan.execute(sim, activated.append,
+                     on_stage_complete=lambda s: stages_done.append(
+                         (sim.now, s.name)))
+        sim.run(until=50.0)
+        assert len(activated) == 2
+        sim.run(until=350.0)
+        assert sorted(activated) == topology.node_ids()[1:]
+        assert [name for _t, name in stages_done] == [
+            "stage-0", "stage-1", "stage-2"]

@@ -1,0 +1,75 @@
+"""Actuator command semantics: clamping, slew, delay."""
+
+import pytest
+
+from repro.devices.actuators import Actuator, OnOffActuator
+from repro.sim.kernel import Simulator
+
+
+class TestActuator:
+    def test_instant_actuation_without_limits(self, sim):
+        actuator = Actuator(sim, "valve")
+        actuator.command(0.7)
+        assert actuator.output == pytest.approx(0.7)
+
+    def test_targets_clamped_to_range(self, sim):
+        actuator = Actuator(sim, "valve", minimum=0.0, maximum=1.0)
+        actuator.command(2.5)
+        assert actuator.output == 1.0
+        actuator.command(-1.0)
+        assert actuator.output == 0.0
+
+    def test_slew_rate_limits_speed(self, sim):
+        actuator = Actuator(sim, "damper", slew_per_s=0.1)
+        actuator.command(1.0)
+        sim.run(until=5.0)
+        assert actuator.output == pytest.approx(0.5)
+        sim.run(until=20.0)
+        assert actuator.output == pytest.approx(1.0)
+
+    def test_actuation_delay_defers_motion(self, sim):
+        actuator = Actuator(sim, "relay", actuation_delay_s=2.0)
+        actuator.command(1.0)
+        sim.run(until=1.0)
+        assert actuator.output == 0.0
+        sim.run(until=3.0)
+        assert actuator.output == 1.0
+
+    def test_command_history_recorded(self, sim):
+        actuator = Actuator(sim, "valve")
+        actuator.command(0.3, issuer=7)
+        actuator.command(0.6, issuer=7)
+        assert len(actuator.commands) == 2
+        assert actuator.commands[0].issuer == 7
+        assert actuator.commands_applied == 2
+
+    def test_reject_counts_refused_commands(self, sim):
+        actuator = Actuator(sim, "valve")
+        actuator.reject(0.9, issuer=666)
+        assert actuator.commands_rejected == 1
+        assert actuator.output == 0.0
+
+    def test_invalid_range_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Actuator(sim, "bad", minimum=1.0, maximum=0.0)
+
+    def test_retarget_mid_slew(self, sim):
+        actuator = Actuator(sim, "damper", slew_per_s=0.1)
+        actuator.command(1.0)
+        sim.run(until=3.0)  # output 0.3
+        actuator.command(0.0)
+        sim.run(until=4.0)
+        assert actuator.output == pytest.approx(0.2)
+
+
+class TestOnOffActuator:
+    def test_snaps_to_binary(self, sim):
+        relay = OnOffActuator(sim, "relay")
+        relay.command(0.7)
+        assert relay.is_on
+        relay.command(0.3)
+        assert not relay.is_on
+
+    def test_initial_state(self, sim):
+        relay = OnOffActuator(sim, "relay", initial=True)
+        assert relay.is_on

@@ -1,0 +1,99 @@
+"""Energy metering against known radio residencies."""
+
+import pytest
+
+from repro.devices.energy import Battery, EnergyMeter
+from repro.devices.platform import CLASS_1_MOTE, CLASS_2_GATEWAY
+from repro.radio.medium import Medium, Radio
+from repro.radio.propagation import UnitDiskModel
+from repro.sim.kernel import Simulator
+
+
+def make_radio(sim):
+    medium = Medium(sim, UnitDiskModel())
+    return Radio(medium, 1, (0, 0))
+
+
+class TestEnergyMeter:
+    def test_pure_sleep_draws_sleep_current(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_1_MOTE)
+        meter.reset(sim.now)
+        sim.run(until=3600.0)
+        expected = 3600.0 * CLASS_1_MOTE.sleep_current_ma
+        assert meter.charge_consumed_mas() == pytest.approx(expected)
+
+    def test_listening_costs_rx_current(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_1_MOTE)
+        meter.reset(sim.now)
+        radio.set_listening()
+        sim.run(until=100.0)
+        expected = 100.0 * CLASS_1_MOTE.rx_current_ma
+        assert meter.charge_consumed_mas() == pytest.approx(expected)
+
+    def test_average_current_over_window(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_1_MOTE)
+        meter.reset(sim.now)
+        radio.set_listening()
+        sim.schedule(10.0, radio.sleep)  # 10% duty cycle
+        sim.run(until=100.0)
+        average = meter.average_current_ma(sim.now)
+        expected = 0.1 * CLASS_1_MOTE.rx_current_ma + 0.9 * CLASS_1_MOTE.sleep_current_ma
+        assert average == pytest.approx(expected, rel=1e-6)
+
+    def test_reset_starts_fresh_window(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_1_MOTE)
+        radio.set_listening()
+        sim.run(until=50.0)
+        meter.reset(sim.now)
+        radio.sleep()
+        sim.run(until=100.0)
+        times = meter.state_seconds()
+        from repro.radio.medium import RadioState
+
+        assert times[RadioState.LISTEN] == pytest.approx(0.0)
+        assert times[RadioState.SLEEP] == pytest.approx(50.0)
+
+    def test_lifetime_projection(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_1_MOTE, Battery(capacity_mah=2600))
+        meter.reset(sim.now)
+        sim.run(until=3600.0)  # pure sleep
+        days = meter.projected_lifetime_days(sim.now)
+        # 2600 mAh / 0.0051 mA ≈ 510k hours ≈ 21k days.
+        assert days == pytest.approx(2600 / 0.0051 / 24.0, rel=1e-6)
+
+    def test_mains_powered_lives_forever(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_2_GATEWAY)
+        meter.reset(sim.now)
+        radio.set_listening()
+        sim.run(until=3600.0)
+        assert meter.projected_lifetime_days(sim.now) == float("inf")
+        assert not meter.depleted(sim.now)
+
+    def test_depletion(self, sim):
+        radio = make_radio(sim)
+        tiny = Battery(capacity_mah=0.001)
+        meter = EnergyMeter(radio, CLASS_1_MOTE, tiny)
+        meter.reset(sim.now)
+        radio.set_listening()
+        sim.run(until=3600.0)
+        assert meter.depleted(sim.now)
+
+    def test_energy_joules_uses_voltage(self, sim):
+        radio = make_radio(sim)
+        meter = EnergyMeter(radio, CLASS_1_MOTE)
+        meter.reset(sim.now)
+        radio.set_listening()
+        sim.run(until=10.0)
+        joules = meter.energy_joules()
+        expected = 10.0 * CLASS_1_MOTE.rx_current_ma / 1000.0 * 3.0
+        assert joules == pytest.approx(expected)
+
+    def test_invalid_battery_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0).validate()

@@ -1,0 +1,44 @@
+"""Platform profile sanity."""
+
+import pytest
+
+from repro.devices.platform import (
+    CLASS_0_MOTE,
+    CLASS_1_MOTE,
+    CLASS_2_GATEWAY,
+    PLATFORMS,
+    PlatformProfile,
+)
+
+
+class TestProfiles:
+    def test_registry_contains_all_classes(self):
+        assert {p.device_class for p in PLATFORMS.values()} == {0, 1, 2}
+
+    def test_profiles_validate(self):
+        for profile in PLATFORMS.values():
+            profile.validate()
+
+    def test_gateway_is_mains_powered(self):
+        assert CLASS_2_GATEWAY.mains_powered
+        assert not CLASS_1_MOTE.mains_powered
+
+    def test_sleep_current_conversion(self):
+        assert CLASS_1_MOTE.sleep_current_ma == pytest.approx(0.0051)
+
+    def test_rx_dominates_sleep_by_orders_of_magnitude(self):
+        # The premise of duty cycling: idle listening is ~3600x sleep.
+        ratio = CLASS_1_MOTE.rx_current_ma / CLASS_1_MOTE.sleep_current_ma
+        assert ratio > 1000
+
+    def test_invalid_class_rejected(self):
+        bad = PlatformProfile(
+            name="x", device_class=5, ram_kib=1, flash_kib=1,
+            tx_current_ma=1, rx_current_ma=1, sleep_current_ua=1,
+            cpu_active_current_ma=1, supply_voltage_v=3,
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_ram_ordering_matches_classes(self):
+        assert CLASS_0_MOTE.ram_kib < CLASS_1_MOTE.ram_kib < CLASS_2_GATEWAY.ram_kib

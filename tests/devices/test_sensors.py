@@ -1,0 +1,117 @@
+"""Sensors, phenomena, and fault modes."""
+
+import pytest
+
+from repro.devices.phenomena import (
+    CompositeField,
+    DiurnalField,
+    RandomWalkField,
+    StepEventField,
+    UniformField,
+)
+from repro.devices.sensors import Sensor, SensorConfig, SensorFault
+from repro.sim.kernel import Simulator
+
+
+class TestPhenomena:
+    def test_uniform_field(self):
+        field = UniformField(value=21.0)
+        assert field.value_at(0.0, (0, 0)) == 21.0
+        assert field.value_at(9999.0, (50, 50)) == 21.0
+
+    def test_diurnal_cycle_period(self):
+        field = DiurnalField(mean=10.0, amplitude=5.0, gradient_per_m=0.0)
+        noon = field.value_at(86_400 / 4, (0, 0))
+        midnight_next = field.value_at(86_400, (0, 0))
+        assert noon == pytest.approx(15.0)
+        assert midnight_next == pytest.approx(10.0, abs=1e-9)
+
+    def test_diurnal_spatial_gradient(self):
+        field = DiurnalField(gradient_per_m=0.1)
+        east = field.value_at(0.0, (100, 0))
+        west = field.value_at(0.0, (0, 0))
+        assert east - west == pytest.approx(10.0)
+
+    def test_random_walk_is_deterministic_and_cached(self):
+        a = RandomWalkField(seed=4)
+        b = RandomWalkField(seed=4)
+        values_a = [a.value_at(t, (0, 0)) for t in (0, 100, 50, 100)]
+        values_b = [b.value_at(t, (0, 0)) for t in (0, 100, 50, 100)]
+        assert values_a == values_b
+        assert values_a[1] == values_a[3]  # cache is consistent
+
+    def test_random_walk_respects_bounds(self):
+        field = RandomWalkField(start=0.0, step_sigma=10.0, lower=-5.0,
+                                upper=5.0, seed=1)
+        values = [field.value_at(t * 10.0, (0, 0)) for t in range(200)]
+        assert all(-5.0 <= v <= 5.0 for v in values)
+
+    def test_step_event_window_and_radius(self):
+        field = StepEventField(base=0.0, event_value=100.0,
+                               event_start_s=10.0, event_end_s=20.0,
+                               epicenter=(0, 0), radius_m=5.0)
+        assert field.value_at(5.0, (0, 0)) == 0.0
+        assert field.value_at(15.0, (0, 0)) == 100.0
+        assert field.value_at(15.0, (10, 0)) == 0.0
+        assert field.value_at(25.0, (0, 0)) == 0.0
+
+    def test_composite_sums_components(self):
+        field = CompositeField([UniformField(10.0), UniformField(5.0)])
+        assert field.value_at(0.0, (0, 0)) == 15.0
+
+
+class TestSensor:
+    def make(self, sim, noise=0.0, **kwargs):
+        config = SensorConfig(noise_sigma=noise, quantization=0.0, **kwargs)
+        return Sensor(sim, "temp", UniformField(20.0), (0, 0), config)
+
+    def test_noiseless_read_matches_truth(self, sim):
+        sensor = self.make(sim)
+        assert sensor.read() == pytest.approx(20.0)
+        assert sensor.ground_truth() == 20.0
+
+    def test_noise_spreads_readings(self, sim):
+        sensor = self.make(sim, noise=1.0)
+        readings = [sensor.read() for _ in range(50)]
+        assert max(readings) != min(readings)
+        mean = sum(readings) / len(readings)
+        assert mean == pytest.approx(20.0, abs=1.0)
+
+    def test_quantization(self, sim):
+        config = SensorConfig(noise_sigma=0.0, quantization=0.5)
+        sensor = Sensor(sim, "t", UniformField(20.3), (0, 0), config)
+        assert sensor.read() == pytest.approx(20.5)
+
+    def test_stuck_fault_repeats_last_value(self, sim):
+        sensor = self.make(sim)
+        first = sensor.read()
+        sensor.inject_fault(SensorFault.STUCK)
+        assert sensor.read() == first
+        assert sensor.read() == first
+
+    def test_dead_fault_returns_none(self, sim):
+        sensor = self.make(sim)
+        sensor.inject_fault(SensorFault.DEAD)
+        assert sensor.read() is None
+
+    def test_offset_fault_biases(self, sim):
+        sensor = self.make(sim)
+        sensor.inject_fault(SensorFault.OFFSET)
+        assert sensor.read() == pytest.approx(25.0)  # default bias 5.0
+
+    def test_clear_fault_restores(self, sim):
+        sensor = self.make(sim)
+        sensor.inject_fault(SensorFault.DEAD)
+        sensor.clear_fault()
+        assert sensor.read() == pytest.approx(20.0)
+
+    def test_drift_accumulates_with_time(self, sim):
+        config = SensorConfig(noise_sigma=0.0, quantization=0.0,
+                              drift_per_day=2.0)
+        sensor = Sensor(sim, "t", UniformField(20.0), (0, 0), config)
+        sim.run(until=86_400.0)
+        assert sensor.read() == pytest.approx(22.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SensorConfig(noise_sigma=-1.0).validate()

@@ -1,0 +1,40 @@
+"""The quick examples must actually run (they are the documentation)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesSmoke:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "100% joined" in out
+        assert "avg temp" in out
+        assert "CONTENT" in out
+
+    def test_factory_retrofit_runs(self, capsys):
+        load_example("factory_retrofit.py").main()
+        out = capsys.readouterr().out
+        assert "security OFF: injected commands applied = ['VALVE_OPEN']" in out
+        assert "security ON: injected commands applied = []" in out
+        assert "auth_rejection_burst" in out
+
+    def test_module_demo_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "RNFD spread the verdict to 15/15" in out

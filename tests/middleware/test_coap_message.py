@@ -1,0 +1,81 @@
+"""CoAP message construction and size accounting."""
+
+import pytest
+
+from repro.middleware.coap.codes import CoapCode, CoapType
+from repro.middleware.coap.message import CoapMessage, CoapOptions
+
+
+class TestCodes:
+    def test_request_response_classification(self):
+        assert CoapCode.GET.is_request
+        assert not CoapCode.GET.is_response
+        assert CoapCode.CONTENT.is_response
+        assert CoapCode.CONTENT.is_success
+        assert not CoapCode.NOT_FOUND.is_success
+
+    def test_str_format(self):
+        assert str(CoapCode.CONTENT) == "2.05 CONTENT"
+
+
+class TestOptions:
+    def test_path_round_trip(self):
+        options = CoapOptions(uri_path=("sensors", "temp"))
+        assert options.path == "/sensors/temp"
+
+    def test_size_grows_with_options(self):
+        bare = CoapOptions()
+        rich = CoapOptions(uri_path=("a", "bb"), observe=0,
+                           content_format="json", max_age_s=60.0)
+        assert rich.size_bytes > bare.size_bytes
+
+
+class TestMessage:
+    def test_request_constructor(self):
+        request = CoapMessage.request(CoapCode.GET, "/sensors/temp")
+        assert request.mtype is CoapType.CON
+        assert request.token is not None
+        assert request.options.path == "/sensors/temp"
+
+    def test_non_confirmable_request(self):
+        request = CoapMessage.request(CoapCode.GET, "/x", confirmable=False)
+        assert request.mtype is CoapType.NON
+
+    def test_response_code_required_for_request_constructor(self):
+        with pytest.raises(ValueError):
+            CoapMessage.request(CoapCode.CONTENT, "/x")
+
+    def test_piggybacked_response_shares_message_id(self):
+        request = CoapMessage.request(CoapCode.GET, "/x")
+        response = request.response(CoapCode.CONTENT, payload=5, payload_bytes=4)
+        assert response.mtype is CoapType.ACK
+        assert response.message_id == request.message_id
+        assert response.token == request.token
+
+    def test_separate_response_for_non(self):
+        request = CoapMessage.request(CoapCode.GET, "/x", confirmable=False)
+        response = request.response(CoapCode.CONTENT)
+        assert response.mtype is CoapType.NON
+        assert response.message_id != request.message_id
+
+    def test_request_code_rejected_as_response(self):
+        request = CoapMessage.request(CoapCode.GET, "/x")
+        with pytest.raises(ValueError):
+            request.response(CoapCode.PUT)
+
+    def test_ack_and_rst_are_empty(self):
+        request = CoapMessage.request(CoapCode.GET, "/x")
+        assert request.ack().code is CoapCode.EMPTY
+        assert request.rst().mtype is CoapType.RST
+
+    def test_size_includes_payload_marker(self):
+        without = CoapMessage.request(CoapCode.GET, "/x")
+        with_payload = CoapMessage.request(CoapCode.PUT, "/x",
+                                           payload=1, payload_bytes=10)
+        assert with_payload.size_bytes == without.size_bytes + 11
+
+    def test_unique_message_ids(self):
+        a = CoapMessage.request(CoapCode.GET, "/x")
+        b = CoapMessage.request(CoapCode.GET, "/x")
+        assert a.message_id != b.message_id
+        assert a.token != b.token

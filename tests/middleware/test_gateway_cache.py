@@ -1,0 +1,70 @@
+"""Observe-fed northbound caching at the gateway."""
+
+import pytest
+
+from repro.middleware.coap.resource import ObservableResource
+from repro.middleware.coap.server import CoapServer
+from repro.middleware.coap.transport import CoapTransport
+from repro.middleware.gateway import Gateway
+from tests.conftest import build_line_network
+
+
+def setup_watched(seed=240):
+    sim, trace, stacks = build_line_network(4, seed=seed)
+    sim.run(until=360.0)
+    gateway = Gateway(stacks[0])
+    transport = CoapTransport(stacks[3])
+    server = CoapServer(transport)
+    resource = ObservableResource("/sensors/temp", initial=20.0)
+    server.add_resource(resource)
+    return sim, gateway, resource
+
+
+class TestGatewayCache:
+    def test_watch_populates_cache(self):
+        sim, gateway, resource = setup_watched()
+        gateway.watch(3, "/sensors/temp")
+        sim.run(until=sim.now + 30.0)
+        cached = gateway.read_cached("native/3", "/sensors/temp")
+        assert cached is not None
+        value, age = cached
+        assert value == 20.0
+        assert age >= 0.0
+
+    def test_updates_refresh_cache(self):
+        sim, gateway, resource = setup_watched()
+        updates = []
+        gateway.watch(3, "/sensors/temp", on_update=updates.append)
+        sim.run(until=sim.now + 30.0)
+        resource.update(23.5)
+        sim.run(until=sim.now + 30.0)
+        value, age = gateway.read_cached("native/3", "/sensors/temp")
+        assert value == 23.5
+        assert updates[-1] == 23.5
+
+    def test_cached_read_is_instant_no_network(self):
+        sim, gateway, resource = setup_watched()
+        gateway.watch(3, "/sensors/temp")
+        sim.run(until=sim.now + 30.0)
+        # No time advances during a cached read: it is a local lookup.
+        before = sim.now
+        assert gateway.read_cached("native/3", "/sensors/temp") is not None
+        assert sim.now == before
+        assert gateway.cache_hits == 1
+
+    def test_stale_entries_rejected_by_max_age(self):
+        sim, gateway, resource = setup_watched()
+        gateway.watch(3, "/sensors/temp")
+        sim.run(until=sim.now + 30.0)
+        sim.run(until=sim.now + 500.0)
+        assert gateway.read_cached("native/3", "/sensors/temp",
+                                   max_age_s=100.0) is None
+        assert gateway.read_cached("native/3", "/sensors/temp") is not None
+
+    def test_unwatched_resource_misses(self):
+        sim, gateway, resource = setup_watched()
+        assert gateway.read_cached("native/3", "/sensors/temp") is None
+
+    def test_legacy_targets_never_cached(self):
+        sim, gateway, resource = setup_watched()
+        assert gateway.read_cached("legacy/meter", "kwh") is None

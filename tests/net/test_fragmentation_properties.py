@@ -1,0 +1,51 @@
+"""Property-based checks on fragmentation plans and kernel metrics."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import percentile
+from repro.net.fragmentation import (
+    FRAGN_HEADER_BYTES,
+    FRAME_MTU_BYTES,
+    FragmentationAdapter,
+)
+from repro.radio.medium import Medium, Radio
+from repro.radio.propagation import UnitDiskModel
+from repro.net.mac.csma import CsmaMac
+from repro.sim.kernel import Simulator
+
+
+def make_adapter():
+    sim = Simulator(seed=1)
+    medium = Medium(sim, UnitDiskModel())
+    mac = CsmaMac(sim, Radio(medium, 1, (0, 0)))
+    return FragmentationAdapter(sim, mac, deliver=lambda *a: None)
+
+
+@given(total=st.integers(min_value=1, max_value=5000))
+@settings(max_examples=200, deadline=None)
+def test_plan_partitions_exactly(total):
+    adapter = make_adapter()
+    sizes = adapter.plan(total)
+    assert sum(sizes) == total
+    assert all(size >= 1 for size in sizes)
+    # Every fragment (chunk + worst-case header) fits one frame.
+    assert all(size + FRAGN_HEADER_BYTES <= FRAME_MTU_BYTES for size in sizes)
+    # Minimality: one fewer fragment could not carry the payload.
+    chunk = FRAME_MTU_BYTES - FRAGN_HEADER_BYTES
+    assert len(sizes) == math.ceil(total / chunk)
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_percentile_bounded_and_monotone(values, fraction):
+    result = percentile(values, fraction)
+    assert min(values) <= result <= max(values)
+    # Monotone in the fraction.
+    lower = percentile(values, max(0.0, fraction - 0.1))
+    assert lower <= result + 1e-9

@@ -1,0 +1,106 @@
+"""Analytic LPL model vs the simulated MAC: they must agree.
+
+A simulator and its own closed-form arithmetic disagreeing is a bug in
+one of them; these tests pin the agreement within generous tolerances
+(the analytic model ignores CCA deferral and ack micro-timing).
+"""
+
+import pytest
+
+from repro.core.analysis import linear_fit
+from repro.net.mac.analysis import LplExpectations, frame_airtime_s
+from repro.net.mac.lpl import LplConfig, LplMac
+from repro.radio.medium import Medium, Radio
+from repro.radio.propagation import UnitDiskModel
+from repro.sim.kernel import Simulator
+
+
+def run_one_hop(config, count=60, period=4.31, seed=7):
+    sim = Simulator(seed=seed)
+    medium = Medium(sim, UnitDiskModel(radius_m=25.0))
+    sender = LplMac(sim, Radio(medium, 1, (0, 0)), config=config)
+    receiver = LplMac(sim, Radio(medium, 2, (10, 0)), config=config)
+    sender.start()
+    receiver.start()
+    latencies = []
+    sent_at = {}
+
+    def on_receive(frame):
+        latencies.append(sim.now - sent_at[frame.payload])
+
+    receiver.on_receive = on_receive
+    for i in range(count):
+        def send(k=i):
+            sent_at[k] = sim.now
+            sender.send(2, k, 20)
+
+        sim.schedule(5.0 + i * period, send)
+    sim.run(until=10.0 + count * period)
+    return sim, sender, receiver, latencies
+
+
+class TestAgainstSimulation:
+    def test_hop_latency_matches_w_over_2(self):
+        config = LplConfig(wake_interval_s=0.5)
+        model = LplExpectations(config)
+        _, _, _, latencies = run_one_hop(config)
+        measured = sum(latencies) / len(latencies)
+        assert measured == pytest.approx(
+            model.expected_hop_latency_s(20), rel=0.35)
+
+    def test_idle_duty_cycle_matches(self):
+        config = LplConfig(wake_interval_s=0.5)
+        model = LplExpectations(config)
+        sim = Simulator(seed=9)
+        medium = Medium(sim, UnitDiskModel(radius_m=25.0))
+        mac = LplMac(sim, Radio(medium, 1, (0, 0)), config=config)
+        mac.start()
+        sim.run(until=600.0)
+        assert mac.duty_cycle() == pytest.approx(
+            model.idle_duty_cycle(), rel=0.4)
+
+    def test_sender_duty_cycle_matches_both_modes(self):
+        rate = 1.0 / 4.31
+        for phase_lock in (False, True):
+            config = LplConfig(wake_interval_s=0.5, phase_lock=phase_lock)
+            model = LplExpectations(config)
+            _, sender, _, _ = run_one_hop(config)
+            assert sender.duty_cycle() == pytest.approx(
+                model.sender_duty_cycle(rate), rel=0.5), phase_lock
+
+    def test_latency_scales_linearly_with_w(self):
+        points = []
+        for w in (0.25, 0.5, 1.0, 2.0):
+            config = LplConfig(wake_interval_s=w)
+            _, _, _, latencies = run_one_hop(config, count=40)
+            points.append((w, sum(latencies) / len(latencies)))
+        fit = linear_fit(points)
+        # Slope ~0.5 (the W/2 law), good linearity.
+        assert fit.slope == pytest.approx(0.5, abs=0.15)
+        assert fit.r_squared > 0.95
+
+
+class TestModelBasics:
+    def test_airtime_arithmetic(self):
+        # (11 PHY + 9 MAC + 20 payload) * 8 / 250k = 1.28 ms.
+        assert frame_airtime_s(20) == pytest.approx(0.00128)
+
+    def test_path_latency_linear_in_hops(self):
+        model = LplExpectations(LplConfig(wake_interval_s=0.5))
+        assert model.expected_path_latency_s(4) == pytest.approx(
+            4 * model.expected_hop_latency_s())
+        with pytest.raises(ValueError):
+            model.expected_path_latency_s(-1)
+
+    def test_phase_lock_shrinks_sender_cost(self):
+        unlocked = LplExpectations(LplConfig(wake_interval_s=0.5))
+        locked = LplExpectations(
+            LplConfig(wake_interval_s=0.5, phase_lock=True))
+        assert (locked.sender_strobe_airtime_s()
+                < unlocked.sender_strobe_airtime_s() / 3)
+
+    def test_duty_cycle_saturates_at_one(self):
+        model = LplExpectations(LplConfig(wake_interval_s=0.5))
+        assert model.sender_duty_cycle(1e6) == 1.0
+        with pytest.raises(ValueError):
+            model.sender_duty_cycle(-1.0)

@@ -1,0 +1,92 @@
+"""Property-based verification of Trickle invariants (RFC 6206)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.rpl.trickle import TrickleTimer
+from repro.sim.kernel import Simulator
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    imin=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    doublings=st.integers(min_value=0, max_value=8),
+    run_s=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_interval_always_bounded(seed, imin, doublings, run_s):
+    """I stays within [Imin, Imax] no matter how long it runs."""
+    sim = Simulator(seed=seed)
+    timer = TrickleTimer(sim, imin, doublings, 1, lambda: None)
+    timer.start()
+    imax = imin * (2 ** doublings)
+    step = max(run_s / 20.0, 0.1)
+    t = 0.0
+    while t < run_s:
+        t += step
+        sim.run(until=t)
+        assert imin - 1e-9 <= timer.interval <= imax + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    imin=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    reset_times=st.lists(
+        st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+        max_size=5,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_transmissions_in_second_half_of_interval(seed, imin, reset_times):
+    """Every firing time t satisfies I/2 <= t within its interval, even
+    under arbitrary external resets."""
+    sim = Simulator(seed=seed)
+    intervals = []
+    firings = []
+
+    timer = TrickleTimer(sim, imin, 4, 1, lambda: firings.append(sim.now))
+
+    original_begin = timer._begin_interval
+
+    def tracking_begin():
+        intervals.append((sim.now, timer.interval))
+        original_begin()
+
+    timer._begin_interval = tracking_begin
+    timer.start()
+    for reset_at in reset_times:
+        sim.schedule_at(max(reset_at, sim.now), timer.reset)
+    sim.run(until=250.0)
+
+    for fired_at in firings:
+        # Find the interval this firing belongs to.
+        owner = None
+        for start, length in intervals:
+            if start <= fired_at <= start + length + 1e-9:
+                owner = (start, length)
+        assert owner is not None
+        start, length = owner
+        assert fired_at - start >= length / 2.0 - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_saturated_listening_suppresses_everything(seed, k):
+    """Hearing >= k consistent messages every interval suppresses all
+    transmissions, forever."""
+    sim = Simulator(seed=seed)
+    fired = []
+    timer = TrickleTimer(sim, 1.0, 4, k, lambda: fired.append(sim.now))
+    timer.start()
+
+    def saturate():
+        for _ in range(k):
+            timer.hear_consistent()
+        sim.schedule(0.4, saturate)  # well under Imin/2
+
+    sim.schedule(0.0, saturate)
+    sim.run(until=60.0)
+    assert fired == []
+    assert timer.suppressions > 0

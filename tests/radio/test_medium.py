@@ -1,0 +1,256 @@
+"""Shared-medium semantics: delivery, sleep, collisions, CCA, energy."""
+
+import pytest
+
+from repro.radio.medium import Frame, Medium, Radio, RadioState
+from repro.radio.propagation import UnitDiskModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+def make_medium(sim, radius=30.0, trace=None):
+    # Note: TraceLog defines __len__, so an empty log is falsy — always
+    # compare against None, never truthiness.
+    return Medium(sim, UnitDiskModel(radius_m=radius),
+                  trace if trace is not None else TraceLog(enabled=False))
+
+
+class TestDelivery:
+    def test_listening_neighbor_receives(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(frame.payload)
+        b.set_listening()
+        a.transmit("hello", 20)
+        sim.run()
+        assert got == ["hello"]
+
+    def test_out_of_range_node_misses(self, sim):
+        medium = make_medium(sim, radius=30.0)
+        a = Radio(medium, 1, (0, 0))
+        far = Radio(medium, 2, (100, 0))
+        got = []
+        far.on_receive = lambda frame, rssi: got.append(frame.payload)
+        far.set_listening()
+        a.transmit("hello", 20)
+        sim.run()
+        assert got == []
+
+    def test_sleeping_receiver_misses(self, sim):
+        trace = TraceLog()
+        medium = make_medium(sim, trace=trace)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(frame.payload)
+        a.transmit("hello", 20)
+        sim.run()
+        assert got == []
+        assert trace.count("radio.miss") == 1
+
+    def test_late_waker_misses_frame_in_flight(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(frame.payload)
+        airtime = a.transmit("hello", 100)
+        # Wake up in the middle of the frame: too late.
+        sim.schedule(airtime / 2, b.set_listening)
+        sim.run()
+        assert got == []
+
+    def test_different_channels_do_not_deliver(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0), channel=11)
+        b = Radio(medium, 2, (10, 0), channel=26)
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(frame.payload)
+        b.set_listening()
+        a.transmit("hello", 20)
+        sim.run()
+        assert got == []
+
+    def test_broadcast_reaches_all_listeners(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        receivers = [Radio(medium, 2 + i, (10.0 + i, 0)) for i in range(3)]
+        got = []
+        for radio in receivers:
+            radio.on_receive = (
+                lambda rid: lambda frame, rssi: got.append(rid)
+            )(radio.node_id)
+            radio.set_listening()
+        a.transmit("x", 20)
+        sim.run()
+        assert sorted(got) == [2, 3, 4]
+
+
+class TestCollisions:
+    def test_overlapping_equal_power_frames_collide(self, sim):
+        trace = TraceLog()
+        medium = make_medium(sim, trace=trace)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (20, 0))
+        victim = Radio(medium, 3, (10, 0))
+        got = []
+        victim.on_receive = lambda frame, rssi: got.append(frame.payload)
+        victim.set_listening()
+        a.transmit("from-a", 50)
+        b.transmit("from-b", 50)
+        sim.run()
+        assert got == []
+        assert trace.count("radio.collision") == 2
+
+    def test_non_overlapping_frames_both_deliver(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (20, 0))
+        victim = Radio(medium, 3, (10, 0))
+        got = []
+        victim.on_receive = lambda frame, rssi: got.append(frame.payload)
+        victim.set_listening()
+        airtime = a.transmit("first", 20)
+        sim.schedule(airtime + 0.001, lambda: b.transmit("second", 20))
+        sim.run()
+        assert got == ["first", "second"]
+
+    def test_capture_strong_frame_survives(self, sim):
+        medium = Medium(sim, UnitDiskModel(radius_m=200.0))
+
+        # Override RSSI to create a strong/weak pair.
+        class TwoLevel(UnitDiskModel):
+            def rssi_dbm(self, sender, receiver, tx_power_dbm):
+                return -40.0 if sender == (1.0, 0.0) else -60.0
+
+        medium.model = TwoLevel(radius_m=200.0)
+        strong = Radio(medium, 1, (1.0, 0.0))
+        weak = Radio(medium, 2, (2.0, 0.0))
+        victim = Radio(medium, 3, (3.0, 0.0))
+        got = []
+        victim.on_receive = lambda frame, rssi: got.append(frame.payload)
+        victim.set_listening()
+        strong.transmit("strong", 50)
+        weak.transmit("weak", 50)
+        sim.run()
+        assert got == ["strong"]
+
+
+class TestCarrierSense:
+    def test_idle_channel_reports_clear(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        a.set_listening()
+        assert not a.carrier_busy()
+
+    def test_active_transmission_reports_busy(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        b.set_listening()
+        a.transmit("x", 200)
+        busy = []
+        sim.schedule(0.001, lambda: busy.append(b.carrier_busy()))
+        sim.run()
+        assert busy == [True]
+
+    def test_channel_clears_after_frame(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        b.set_listening()
+        airtime = a.transmit("x", 20)
+        busy = []
+        sim.schedule(airtime + 0.001, lambda: busy.append(b.carrier_busy()))
+        sim.run()
+        assert busy == [False]
+
+
+class TestRadioState:
+    def test_state_time_accounting(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        a.set_listening()
+        sim.schedule(10.0, a.sleep)
+        sim.run(until=30.0)
+        times = a.flush_state_time()
+        assert times[RadioState.LISTEN] == pytest.approx(10.0)
+        assert times[RadioState.SLEEP] == pytest.approx(20.0)
+
+    def test_tx_time_accounted(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        airtime = a.transmit("x", 114)  # (11+114)*8/250k = 4 ms
+        sim.run()
+        times = a.flush_state_time()
+        assert times[RadioState.TX] == pytest.approx(airtime)
+        assert airtime == pytest.approx(0.004)
+
+    def test_double_transmit_rejected(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        a.transmit("x", 200)
+        with pytest.raises(RuntimeError):
+            a.transmit("y", 20)
+
+    def test_disabled_radio_cannot_transmit(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        a.enabled = False
+        with pytest.raises(RuntimeError):
+            medium.transmit(a, Frame("x", 10, a.channel, a.node_id))
+
+    def test_disabled_radio_does_not_receive(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(1)
+        b.set_listening()
+        b.enabled = False
+        a.transmit("x", 20)
+        sim.run()
+        assert got == []
+
+    def test_duplicate_node_id_rejected(self, sim):
+        medium = make_medium(sim)
+        Radio(medium, 1, (0, 0))
+        with pytest.raises(ValueError):
+            Radio(medium, 1, (5, 0))
+
+
+class TestLinkFilter:
+    def test_blocked_link_carries_nothing(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(1)
+        b.set_listening()
+        medium.set_link_filter(lambda s, r: True)
+        a.transmit("x", 20)
+        sim.run()
+        assert got == []
+
+    def test_clearing_filter_restores_links(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        got = []
+        b.on_receive = lambda frame, rssi: got.append(1)
+        b.set_listening()
+        medium.set_link_filter(lambda s, r: True)
+        medium.set_link_filter(None)
+        a.transmit("x", 20)
+        sim.run()
+        assert got == [1]
+
+    def test_link_prr_reports_ground_truth(self, sim):
+        medium = make_medium(sim, radius=30.0)
+        Radio(medium, 1, (0, 0))
+        Radio(medium, 2, (10, 0))
+        Radio(medium, 3, (100, 0))
+        assert medium.link_prr(1, 2) == 1.0
+        assert medium.link_prr(1, 3) == 0.0

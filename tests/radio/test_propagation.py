@@ -1,0 +1,77 @@
+"""Link-quality model behaviour."""
+
+from repro.radio.propagation import LogDistanceModel, UnitDiskModel, distance
+
+
+class TestUnitDisk:
+    def test_binary_connectivity(self):
+        model = UnitDiskModel(radius_m=30.0)
+        near = model.rssi_dbm((0, 0), (10, 0), 0.0)
+        far = model.rssi_dbm((0, 0), (40, 0), 0.0)
+        assert model.reception_probability(near) == 1.0
+        assert model.reception_probability(far) == 0.0
+
+    def test_boundary_inclusive(self):
+        model = UnitDiskModel(radius_m=30.0)
+        edge = model.rssi_dbm((0, 0), (30, 0), 0.0)
+        assert model.reception_probability(edge) == 1.0
+
+
+class TestLogDistance:
+    def test_rssi_decreases_with_distance(self):
+        model = LogDistanceModel(shadowing_sigma_db=0.0)
+        rssis = [
+            model.rssi_dbm((0, 0), (d, 0), 0.0) for d in (5, 10, 20, 40, 80)
+        ]
+        assert rssis == sorted(rssis, reverse=True)
+
+    def test_prr_monotone_in_rssi(self):
+        model = LogDistanceModel()
+        assert model.reception_probability(-70) > model.reception_probability(-95)
+
+    def test_prr_saturates(self):
+        model = LogDistanceModel()
+        assert model.reception_probability(-20) > 0.999999
+        assert model.reception_probability(-200) == 0.0
+
+    def test_prr_half_at_sensitivity(self):
+        model = LogDistanceModel(sensitivity_dbm=-90.0)
+        assert abs(model.reception_probability(-90.0) - 0.5) < 1e-9
+
+    def test_shadowing_is_per_link_stable(self):
+        model = LogDistanceModel(shadowing_sigma_db=6.0, seed=3)
+        first = model.rssi_dbm((0, 0), (30, 0), 0.0)
+        second = model.rssi_dbm((0, 0), (30, 0), 0.0)
+        assert first == second
+
+    def test_shadowing_is_symmetric(self):
+        model = LogDistanceModel(shadowing_sigma_db=6.0, seed=3)
+        ab = model.rssi_dbm((0, 0), (30, 0), 0.0)
+        ba = model.rssi_dbm((30, 0), (0, 0), 0.0)
+        assert ab == ba
+
+    def test_shadowing_differs_across_links(self):
+        model = LogDistanceModel(shadowing_sigma_db=6.0, seed=3)
+        links = {
+            model.rssi_dbm((0, 0), (30, float(k)), 0.0) for k in range(8)
+        }
+        assert len(links) > 1
+
+    def test_transitional_region_exists(self):
+        # Some distance band should have PRR strictly between 5% and 95%.
+        model = LogDistanceModel(shadowing_sigma_db=0.0)
+        prrs = [
+            model.reception_probability(model.rssi_dbm((0, 0), (d, 0), 0.0))
+            for d in range(5, 120, 2)
+        ]
+        assert any(0.05 < p < 0.95 for p in prrs)
+
+    def test_minimum_distance_clamped(self):
+        model = LogDistanceModel(shadowing_sigma_db=0.0)
+        at_zero = model.rssi_dbm((0, 0), (0, 0), 0.0)
+        at_half = model.rssi_dbm((0, 0), (0.5, 0), 0.0)
+        assert at_zero == at_half
+
+
+def test_distance_euclidean():
+    assert distance((0, 0), (3, 4)) == 5.0

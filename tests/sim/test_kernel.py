@@ -1,0 +1,214 @@
+"""Kernel ordering, cancellation, determinism, and run-window semantics."""
+
+import pytest
+
+from repro.sim.kernel import SimTimeError, Simulator, exponential_backoff
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, (lambda l: lambda: order.append(l))(label))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_breaks_same_time_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("low"), priority=1)
+        sim.schedule(1.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimTimeError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimTimeError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_events_run(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_call_soon_runs_after_current_event(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            sim.call_soon(lambda: order.append("soon"))
+            order.append("first")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "soon"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.pending
+
+    def test_pending_reflects_lifecycle(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending
+        sim.run()
+        assert not handle.pending
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.pending
+
+
+class TestRunWindows:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_time_even_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_later_events_survive_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        sim.run(until=15.0)
+        assert fired == [1]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), (lambda j: lambda: fired.append(j))(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_random_sequence(self):
+        a, b = Simulator(seed=7), Simulator(seed=7)
+        assert [a.rng.random() for _ in range(10)] == [
+            b.rng.random() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = Simulator(seed=7), Simulator(seed=8)
+        assert [a.rng.random() for _ in range(5)] != [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_substreams_are_independent(self):
+        a = Simulator(seed=7)
+        first = [a.substream("x").random() for _ in range(5)]
+        b = Simulator(seed=7)
+        # Draw from another substream first: must not perturb "x".
+        [b.substream("y").random() for _ in range(100)]
+        second = [b.substream("x").random() for _ in range(5)]
+        assert first == second
+
+    def test_substream_is_cached(self):
+        sim = Simulator(seed=7)
+        assert sim.substream("x") is sim.substream("x")
+
+
+class TestExponentialBackoff:
+    def test_grows_with_attempts(self):
+        import random
+
+        rng = random.Random(1)
+        delays = [
+            exponential_backoff(rng, attempt, base=1.0, jitter=0.0)
+            for attempt in range(4)
+        ]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap_applies(self):
+        import random
+
+        rng = random.Random(1)
+        assert exponential_backoff(rng, 10, base=1.0, cap=5.0, jitter=0.0) == 5.0
+
+    def test_jitter_within_band(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(100):
+            delay = exponential_backoff(rng, 2, base=1.0, jitter=0.5)
+            assert 2.0 <= delay <= 6.0
+
+    def test_negative_attempt_rejected(self):
+        import random
+
+        with pytest.raises(ValueError):
+            exponential_backoff(random.Random(1), -1, base=1.0)

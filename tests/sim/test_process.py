@@ -1,0 +1,111 @@
+"""Generator-process semantics."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import ProcessEvent, sleep, spawn, wait
+
+
+class TestProcess:
+    def test_sleep_suspends_for_duration(self, sim: Simulator):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield sleep(5.0)
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0.0, 5.0]
+
+    def test_process_returns_result(self, sim: Simulator):
+        def proc():
+            yield sleep(1.0)
+            return 42
+
+        process = spawn(sim, proc())
+        sim.run()
+        assert process.result == 42
+        assert not process.alive
+
+    def test_wait_resumes_on_event_with_value(self, sim: Simulator):
+        event = ProcessEvent()
+        got = []
+
+        def waiter():
+            value = yield wait(event)
+            got.append((sim.now, value))
+
+        spawn(sim, waiter())
+        sim.schedule(3.0, lambda: event.fire("payload"))
+        sim.run()
+        assert got == [(3.0, "payload")]
+
+    def test_event_wakes_all_waiters(self, sim: Simulator):
+        event = ProcessEvent()
+        woken = []
+
+        def waiter(name):
+            yield wait(event)
+            woken.append(name)
+
+        spawn(sim, waiter("a"))
+        spawn(sim, waiter("b"))
+        sim.schedule(1.0, event.fire)
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_kill_stops_process(self, sim: Simulator):
+        log = []
+
+        def proc():
+            log.append("start")
+            yield sleep(10.0)
+            log.append("never")
+
+        process = spawn(sim, proc())
+        sim.schedule(5.0, process.kill)
+        sim.run()
+        assert log == ["start"]
+        assert not process.alive
+
+    def test_done_event_fires_on_completion(self, sim: Simulator):
+        results = []
+
+        def proc():
+            yield sleep(2.0)
+            return "done"
+
+        def watcher(target):
+            value = yield wait(target.done_event)
+            results.append((sim.now, value))
+
+        process = spawn(sim, proc())
+        spawn(sim, watcher(process))
+        sim.run()
+        assert results == [(2.0, "done")]
+
+    def test_bad_yield_raises(self, sim: Simulator):
+        def proc():
+            yield "not-a-command"
+
+        spawn(sim, proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_nested_spawning(self, sim: Simulator):
+        log = []
+
+        def child():
+            yield sleep(1.0)
+            log.append(("child", sim.now))
+
+        def parent():
+            spawn(sim, child())
+            yield sleep(0.5)
+            log.append(("parent", sim.now))
+
+        spawn(sim, parent())
+        sim.run()
+        assert log == [("parent", 0.5), ("child", 1.0)]

@@ -1,0 +1,106 @@
+"""Timer and PeriodicTimer semantics."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim: Simulator):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_restart_pushes_deadline(self, sim: Simulator):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.schedule(2.0, lambda: timer.start(3.0))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_cancel_prevents_firing(self, sim: Simulator):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_armed_and_deadline(self, sim: Simulator):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.start(4.0)
+        assert timer.armed
+        assert timer.deadline == 4.0
+        sim.run()
+        assert not timer.armed
+
+    def test_timer_can_rearm_itself(self, sim: Simulator):
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTimer:
+    def test_fires_periodically(self, sim: Simulator):
+        fired = []
+        timer = PeriodicTimer(sim, 2.0, lambda: fired.append(sim.now), phase=0.0)
+        timer.start()
+        sim.run(until=7.0)
+        assert fired == [0.0, 2.0, 4.0, 6.0]
+
+    def test_random_phase_desynchronizes(self):
+        phases = []
+        for seed in range(5):
+            sim = Simulator(seed=seed)
+            fired = []
+            timer = PeriodicTimer(sim, 10.0, lambda: fired.append(sim.now))
+            timer.start()
+            sim.run(until=10.0)
+            phases.append(fired[0])
+        assert len(set(phases)) > 1
+
+    def test_stop_halts_firing(self, sim: Simulator):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now), phase=0.5)
+        timer.start()
+        sim.schedule(2.0, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [0.5, 1.5]
+
+    def test_start_is_idempotent(self, sim: Simulator):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(1), phase=0.0)
+        timer.start()
+        timer.start()
+        sim.run(until=0.5)
+        assert fired == [1]
+
+    def test_invalid_period_rejected(self, sim: Simulator):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_period_change_applies_next_cycle(self, sim: Simulator):
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now), phase=0.0)
+        timer.start()
+
+        def widen():
+            timer.period = 5.0
+
+        sim.schedule(0.5, widen)
+        sim.run(until=12.0)
+        assert fired == [0.0, 1.0, 6.0, 11.0]

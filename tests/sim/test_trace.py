@@ -1,0 +1,63 @@
+"""Trace log recording, counters, queries, and subscriptions."""
+
+from repro.sim.trace import TraceLog
+
+
+class TestTraceLog:
+    def test_emit_stores_record(self):
+        log = TraceLog()
+        log.emit(1.0, "mac.tx", node=3, size=10)
+        assert len(log) == 1
+        record = log.records[0]
+        assert record.time == 1.0
+        assert record.category == "mac.tx"
+        assert record.node == 3
+        assert record.data == {"size": 10}
+
+    def test_counters_track_per_category(self):
+        log = TraceLog()
+        log.emit(1.0, "a")
+        log.emit(2.0, "a")
+        log.emit(3.0, "b")
+        assert log.count("a") == 2
+        assert log.count("b") == 1
+        assert log.count("missing") == 0
+
+    def test_disabled_log_counts_but_does_not_store(self):
+        log = TraceLog(enabled=False)
+        log.emit(1.0, "a")
+        assert len(log) == 0
+        assert log.count("a") == 1
+
+    def test_query_filters_by_category_node_and_window(self):
+        log = TraceLog()
+        log.emit(1.0, "x", node=1)
+        log.emit(2.0, "x", node=2)
+        log.emit(3.0, "y", node=1)
+        log.emit(4.0, "x", node=1)
+        hits = list(log.query("x", node=1))
+        assert [r.time for r in hits] == [1.0, 4.0]
+        windowed = list(log.query("x", since=1.5, until=4.5))
+        assert [r.time for r in windowed] == [2.0, 4.0]
+
+    def test_subscription_fires_on_matching_category(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe("alarm", lambda r: seen.append(r.time))
+        log.emit(1.0, "other")
+        log.emit(2.0, "alarm")
+        assert seen == [2.0]
+
+    def test_subscription_fires_even_when_disabled(self):
+        log = TraceLog(enabled=False)
+        seen = []
+        log.subscribe("alarm", lambda r: seen.append(r.time))
+        log.emit(2.0, "alarm")
+        assert seen == [2.0]
+
+    def test_clear_resets_everything(self):
+        log = TraceLog()
+        log.emit(1.0, "a")
+        log.clear()
+        assert len(log) == 0
+        assert log.count("a") == 0
