@@ -1,0 +1,27 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test check-invariants sweep bench demo
+
+# Tier-1: the fast correctness suite (must always pass).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# The invariant-checking suite: per-checker unit tests, determinism
+# regressions, and the multi-seed fault sweeps. Kept separate from
+# tier-1 so its longer scenario runs don't slow the inner loop.
+check-invariants:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10
+
+# Just the CLI sweep (SEEDS=n to widen).
+SEEDS ?= 10
+sweep:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds $(SEEDS)
+
+# The paper's experiment suite.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro

@@ -1,12 +1,16 @@
-"""``python -m repro`` — a 30-second guided demo.
+"""``python -m repro`` — a 30-second guided demo, plus subcommands.
 
-Builds a small deployment, converges it, runs one aggregation query,
-kills the border router to show RNFD, and prints the taxonomy verdicts.
-For the full experiment suite run ``pytest benchmarks/ --benchmark-only``.
+With no arguments: builds a small deployment, converges it, runs one
+aggregation query, kills the border router to show RNFD, and prints the
+taxonomy verdicts.  ``python -m repro sweep`` instead runs the built-in
+fault scenarios under full invariant checking across many seeds (see
+DESIGN.md, "Runtime invariant checking").  For the full experiment
+suite run ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro import IIoTSystem, SystemConfig, StackConfig, __version__, grid_topology
@@ -15,7 +19,45 @@ from repro.devices import DiurnalField
 from repro.net.rpl import RnfdConfig, RplConfig, RplState
 
 
+def sweep_main(argv) -> int:
+    """``python -m repro sweep`` — seed-sweep the built-in scenarios."""
+    from repro.checking.scenarios import BUILTIN_SCENARIOS
+    from repro.checking.sweep import SeedSweepRunner
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run fault scenarios under runtime invariant checking "
+                    "across many seeds; exit nonzero on any violation.",
+    )
+    parser.add_argument("--scenario", choices=sorted(BUILTIN_SCENARIOS),
+                        action="append",
+                        help="scenario to sweep (default: all built-ins)")
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="seeds per scenario (default: 10)")
+    parser.add_argument("--base-seed", type=int, default=1,
+                        help="base of the deterministic seed list")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    names = args.scenario if args.scenario else sorted(BUILTIN_SCENARIOS)
+    failed = False
+    for name in names:
+        runner = SeedSweepRunner(name, BUILTIN_SCENARIOS[name])
+        outcomes = runner.run_count(args.seeds, base_seed=args.base_seed)
+        bad = [o for o in outcomes if not o.clean]
+        verdict = "OK" if not bad else f"{len(bad)} seed(s) VIOLATED"
+        print(f"{name}: {len(outcomes)} seeds, {verdict}")
+        for outcome in bad:
+            failed = True
+            print(outcome.bundle.summary())
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     print(f"repro {__version__} — 'A Distributed Systems Perspective on "
           f"Industrial IoT' (ICDCS 2018), executable\n")
 
@@ -54,6 +96,8 @@ def main(argv=None) -> int:
 
     print("\nFull reproduction: pytest benchmarks/ --benchmark-only -s "
           "(13 experiments; see EXPERIMENTS.md)")
+    print("Invariant sweep:    python -m repro sweep  "
+          "(fault scenarios under runtime checking)")
     return 0
 
 

@@ -1,0 +1,78 @@
+"""Runtime invariant checking and the deterministic seed-sweep harness.
+
+The dependability taxonomy the paper builds (reliability, safety,
+availability) demands that protocol correctness hold *under faults*, not
+just on the happy path.  This package provides the tooling:
+
+- :mod:`repro.checking.base` — the :class:`InvariantChecker` contract
+  (subscribe to trace categories and/or sample system state on a
+  schedule) and the :class:`CheckerSuite` that manages a set of them;
+- concrete checkers spanning the stack's layers:
+  :mod:`~repro.checking.rpl` (DODAG acyclicity, rank monotonicity,
+  delivered-path loop bounds), :mod:`~repro.checking.macradio` (radio
+  state machine and collision accounting),
+  :mod:`~repro.checking.coap` (at-most-once responses, retransmission
+  bounds, Observe monotonicity), :mod:`~repro.checking.crdt` (lattice
+  laws on live states, convergence after quiescence), and
+  :mod:`~repro.checking.safety` (comfort envelope outside declared
+  fault windows);
+- :mod:`repro.checking.sweep` — the :class:`SeedSweepRunner` that runs
+  a scenario across many seeds, asserts zero violations, and emits a
+  minimal repro bundle on failure;
+- :mod:`repro.checking.scenarios` — built-in fault scenarios
+  (partition, RNFD root death) wired with checkers, shared by the
+  integration tests and ``python -m repro sweep``.
+
+Checkers are read-only observers: they never mutate protocol state,
+never draw from the simulation's RNG, and never emit into the shared
+:class:`~repro.sim.trace.TraceLog` — so a run with checkers enabled
+produces exactly the trace the same seed produces without them.
+"""
+
+from repro.checking.base import CheckerSuite, InvariantChecker, Violation
+from repro.checking.coap import CoapExchangeChecker
+from repro.checking.crdt import CrdtLatticeChecker
+from repro.checking.macradio import CollisionAccountingChecker, RadioStateChecker
+from repro.checking.rpl import DeliveredPathChecker, DodagStructureChecker
+from repro.checking.safety import ComfortEnvelopeChecker
+from repro.checking.sweep import (
+    InvariantViolationError,
+    ReproBundle,
+    SeedSweepRunner,
+    SweepOutcome,
+)
+
+__all__ = [
+    "CheckerSuite",
+    "CoapExchangeChecker",
+    "CollisionAccountingChecker",
+    "ComfortEnvelopeChecker",
+    "CrdtLatticeChecker",
+    "DeliveredPathChecker",
+    "DodagStructureChecker",
+    "InvariantChecker",
+    "InvariantViolationError",
+    "RadioStateChecker",
+    "ReproBundle",
+    "SeedSweepRunner",
+    "SweepOutcome",
+    "Violation",
+    "default_suite",
+]
+
+
+def default_suite(system) -> CheckerSuite:
+    """The standard cross-layer checker set for an ``IIoTSystem``.
+
+    Application-level checkers (CRDT, safety) observe objects the
+    application wires up, so scenarios add those to the returned suite
+    themselves via :meth:`CheckerSuite.add`.
+    """
+    suite = CheckerSuite(system.sim, system.trace)
+    routers = {nid: node.stack.rpl for nid, node in system.nodes.items()}
+    suite.add(DodagStructureChecker(routers))
+    suite.add(DeliveredPathChecker(node_count=len(system.nodes)))
+    suite.add(RadioStateChecker(system.medium))
+    suite.add(CollisionAccountingChecker(system.medium))
+    suite.add(CoapExchangeChecker())
+    return suite

@@ -1,0 +1,119 @@
+"""Built-in sweep scenarios: fault scripts under full invariant checking.
+
+Each scenario is a pure function of its seed with the signature the
+:class:`~repro.checking.sweep.SeedSweepRunner` expects: build a system
+with ``invariant_checking=True``, drive a fault script, return the
+:class:`~repro.checking.base.CheckerSuite`.  They cover the two fault
+families the paper leans on hardest — network partitions (§V-C) and
+border-router failure under RNFD (E5) — so sweeping them across seeds
+exercises every layer's checkers against the nastiest schedules the
+deterministic kernel can produce.
+
+Kept out of ``repro.checking.__init__`` on purpose: scenarios import
+half the codebase (system, CRDTs, faults), and the checking package must
+stay importable from :mod:`repro.core.system` without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.checking.base import CheckerSuite
+from repro.checking.crdt import CrdtLatticeChecker
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.crdt.maps import LWWMap
+from repro.crdt.replication import AntiEntropyConfig, CrdtReplica, NetworkReplicator
+from repro.deployment.topology import grid_topology
+from repro.faults.injector import FaultInjector
+from repro.faults.partitions import GeometricPartition, PartitionController
+from repro.net.rpl.dodag import RplConfig
+from repro.net.rpl.rnfd import RnfdConfig
+from repro.net.stack import StackConfig
+
+#: The vertical cut used by :func:`partition_crdt_scenario` on grid(3)
+#: (columns at x = 0, 20, 40 m): two columns left, one right.
+_CUT_X = 30.0
+
+
+def partition_crdt_scenario(seed: int) -> CheckerSuite:
+    """Partition a gossiping CRDT deployment, write on both sides, heal.
+
+    Stresses: RPL repair across the cut, CRDT lattice laws under
+    concurrent divergent writes, and convergence after the heal.
+    """
+    config = SystemConfig(
+        stack=StackConfig(mac="csma"),
+        invariant_checking=True,
+    )
+    system = IIoTSystem.build(grid_topology(3), config=config, seed=seed)
+    suite = system.checkers
+    crdt_checker = CrdtLatticeChecker(period_s=60.0)
+    suite.add(crdt_checker)
+
+    system.start()
+    system.run(180.0)
+
+    stacks = [node.stack for node in system.nodes.values()]
+    replicas = [
+        crdt_checker.watch(CrdtReplica(s.node_id, LWWMap(s.node_id)))
+        for s in stacks
+    ]
+    replicators = [
+        NetworkReplicator(s, r, AntiEntropyConfig(period_s=15.0))
+        for s, r in zip(stacks, replicas)
+    ]
+    for replicator in replicators:
+        replicator.start()
+    system.run(60.0)
+
+    cutter = PartitionController(system.sim, system.medium, system.trace)
+    cutter.apply(GeometricPartition(cut_x=_CUT_X))
+    # Divergent writes on both sides of the cut (distinct keys, so the
+    # converged value is the union regardless of LWW tie-breaking).
+    for stack, replica in zip(stacks, replicas):
+        side = "left" if stack.radio.position[0] < _CUT_X else "right"
+        replica.mutate(
+            lambda s, side=side, nid=stack.node_id:
+            s.set(f"setpoint/{side}", float(nid), system.sim.now)
+        )
+    for _stack, replicator in zip(stacks, replicators):
+        replicator.notify_local_update()
+    system.run(120.0)
+
+    cutter.heal()
+    system.run(240.0)  # anti-entropy quiesces; convergence checked at finish
+    return suite
+
+
+def rnfd_root_failure_scenario(seed: int) -> CheckerSuite:
+    """Crash the border router under RNFD; let it recover and re-root.
+
+    Stresses: RNFD's collective sink-failure verdict, DODAG collapse and
+    poisoning, floating-DODAG formation, and re-join after recovery —
+    the regime with the highest historical risk of routing loops.
+    """
+    config = SystemConfig(
+        stack=StackConfig(
+            mac="csma",
+            rnfd_enabled=True,
+            rnfd=RnfdConfig(probe_period_s=10.0),
+            rpl=RplConfig(dao_period_s=60.0),
+        ),
+        invariant_checking=True,
+    )
+    system = IIoTSystem.build(grid_topology(3), config=config, seed=seed)
+    suite = system.checkers
+
+    system.start()
+    system.run(240.0)
+
+    injector = FaultInjector(system.sim, system.nodes, system.trace)
+    injector.crash_at(system.sim.now + 10.0, system.topology.root_id,
+                      recover_after=300.0)
+    system.run(700.0)
+    return suite
+
+
+#: name -> scenario, for the CLI and the integration sweep.
+BUILTIN_SCENARIOS = {
+    "partition-crdt": partition_crdt_scenario,
+    "rnfd-root-failure": rnfd_root_failure_scenario,
+}

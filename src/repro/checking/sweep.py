@@ -1,0 +1,134 @@
+"""The deterministic seed-sweep harness.
+
+A *scenario* is a callable ``scenario(seed) -> CheckerSuite``: it builds
+a system, attaches checkers, drives the simulation (typically through a
+:class:`~repro.faults.injector.FaultInjector` script), and returns the
+suite.  The :class:`SeedSweepRunner` executes the scenario across many
+seeds, asserts zero invariant violations, and — because every run is a
+pure function of its seed — a failure reduces to a minimal
+:class:`ReproBundle`: the seed, the scenario name, the violation
+records, and the trailing trace window leading up to the first breach.
+Re-running the same scenario with the bundled seed reproduces the
+failure exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.checking.base import CheckerSuite, Violation
+from repro.core.experiment import seeds_for
+from repro.sim.trace import TraceRecord
+
+Scenario = Callable[[int], CheckerSuite]
+
+
+class InvariantViolationError(AssertionError):
+    """A seed sweep found invariant violations; carries the bundle."""
+
+    def __init__(self, bundle: "ReproBundle") -> None:
+        super().__init__(bundle.summary())
+        self.bundle = bundle
+
+
+@dataclass
+class ReproBundle:
+    """The minimal artifact needed to reproduce one failing run."""
+
+    scenario: str
+    seed: int
+    violations: List[Violation]
+    trace_tail: List[TraceRecord] = field(default_factory=list)
+
+    def summary(self, max_violations: int = 10, max_trace: int = 20) -> str:
+        """Human-readable repro recipe."""
+        lines = [
+            f"scenario={self.scenario!r} seed={self.seed}: "
+            f"{len(self.violations)} violation(s)",
+        ]
+        for violation in self.violations[:max_violations]:
+            lines.append(f"  {violation}")
+        if len(self.violations) > max_violations:
+            lines.append(f"  ... {len(self.violations) - max_violations} more")
+        if self.trace_tail:
+            lines.append(f"  trailing trace ({len(self.trace_tail)} records,"
+                         f" last {max_trace} shown):")
+            for record in self.trace_tail[-max_trace:]:
+                lines.append(
+                    f"    t={record.time:.3f} {record.category}"
+                    f" node={record.node} {record.data}"
+                )
+        lines.append(f"  repro: rerun scenario {self.scenario!r} "
+                     f"with seed={self.seed}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepOutcome:
+    """One seed's result."""
+
+    seed: int
+    violations: List[Violation]
+    bundle: Optional[ReproBundle] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+class SeedSweepRunner:
+    """Runs a scenario across seeds and asserts zero violations.
+
+    Parameters
+    ----------
+    name:
+        Scenario name, recorded in repro bundles.
+    scenario:
+        ``scenario(seed) -> CheckerSuite`` (see module docstring).
+    trace_window_s:
+        How much trailing simulated time of the trace to capture into a
+        repro bundle when a run fails.
+    """
+
+    def __init__(self, name: str, scenario: Scenario,
+                 trace_window_s: float = 120.0) -> None:
+        self.name = name
+        self.scenario = scenario
+        self.trace_window_s = trace_window_s
+
+    # ------------------------------------------------------------------
+    def run_seed(self, seed: int) -> SweepOutcome:
+        """One deterministic run; violations become a repro bundle."""
+        suite = self.scenario(seed)
+        violations = suite.finish()
+        suite.detach()
+        bundle = None
+        if violations:
+            window_start = min(
+                suite.sim.now - self.trace_window_s,
+                violations[0].time,
+            )
+            tail = [r for r in suite.trace.records if r.time >= window_start]
+            bundle = ReproBundle(self.name, seed, violations, tail)
+        return SweepOutcome(seed=seed, violations=violations, bundle=bundle)
+
+    def run(self, seeds: Sequence[int]) -> List[SweepOutcome]:
+        return [self.run_seed(seed) for seed in seeds]
+
+    def run_count(self, repetitions: int, base_seed: int = 1) -> List[SweepOutcome]:
+        """Run over the standard deterministic seed list."""
+        return self.run(seeds_for(base_seed, repetitions))
+
+    # ------------------------------------------------------------------
+    def assert_clean(self, outcomes: Sequence[SweepOutcome]) -> None:
+        """Raise :class:`InvariantViolationError` on the first failure."""
+        for outcome in outcomes:
+            if outcome.bundle is not None:
+                raise InvariantViolationError(outcome.bundle)
+
+    def sweep(self, repetitions: int, base_seed: int = 1) -> List[SweepOutcome]:
+        """``run_count`` + ``assert_clean`` in one call."""
+        outcomes = self.run_count(repetitions, base_seed)
+        self.assert_clean(outcomes)
+        return outcomes

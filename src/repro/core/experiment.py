@@ -9,7 +9,7 @@ table exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
 def seeds_for(base: int, repetitions: int) -> List[int]:
@@ -46,15 +46,22 @@ class Sweep:
         scenario: Callable[[Any, int], Dict[str, float]],
         repetitions: int = 3,
         base_seed: int = 1,
+        on_trial: Optional[Callable[[Trial], None]] = None,
     ) -> "Sweep":
-        """Execute the sweep (synchronously, deterministically)."""
+        """Execute the sweep (synchronously, deterministically).
+
+        ``on_trial``, when given, observes each completed trial — e.g.
+        to assert per-run invariants or stream progress — without
+        affecting the sweep itself.
+        """
         for index, value in enumerate(values):
             for seed in seeds_for(base_seed + index, repetitions):
                 metrics = scenario(value, seed)
-                self.trials.append(
-                    Trial(params={self.parameter: value}, seed=seed,
-                          metrics=metrics)
-                )
+                trial = Trial(params={self.parameter: value}, seed=seed,
+                              metrics=metrics)
+                self.trials.append(trial)
+                if on_trial is not None:
+                    on_trial(trial)
         return self
 
     def rows(self) -> List[Dict[str, Any]]:

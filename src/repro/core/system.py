@@ -38,6 +38,10 @@ class SystemConfig:
     node_platform: PlatformProfile = CLASS_1_MOTE
     root_platform: PlatformProfile = CLASS_2_GATEWAY
     trace_enabled: bool = True
+    #: Attach the default runtime invariant checkers (repro.checking).
+    #: Off by default so benchmarks pay nothing; checkers are passive
+    #: observers, so enabling them does not change simulation outcomes.
+    invariant_checking: bool = False
 
 
 class TimeSeriesStore:
@@ -87,6 +91,11 @@ class IIoTSystem:
         self._gateway: Optional[Gateway] = None
         self._activated: set = set()
         self._build_nodes()
+        self.checkers = None
+        if config.invariant_checking:
+            # Imported lazily: checking depends on this module's peers.
+            from repro.checking import default_suite
+            self.checkers = default_suite(self)
 
     # ------------------------------------------------------------------
     # construction

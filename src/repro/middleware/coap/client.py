@@ -34,6 +34,8 @@ class CoapClient:
     def __init__(self, transport: CoapTransport) -> None:
         self.transport = transport
         self.sim = transport.sim
+        self.trace = transport.trace
+        self.node_id = transport.stack.node_id
         self._pending: Dict[int, PendingRequest] = {}
         self._observations: Dict[int, PendingRequest] = {}
         self.requests_sent = 0
@@ -129,6 +131,9 @@ class CoapClient:
         observation = self._observations.get(token)
         if observation is not None and observation.observe_callback is not None:
             self.responses_received += 1
+            self.trace.emit(self.sim.now, "coap.notify", node=self.node_id,
+                            src=src, token=token,
+                            seq=response.options.observe)
             observation.observe_callback(response)
             return
         pending = self._pending.pop(token, None)
@@ -137,9 +142,15 @@ class CoapClient:
         if pending.timer is not None:
             pending.timer.cancel()
         self.responses_received += 1
+        self.trace.emit(self.sim.now, "coap.response", node=self.node_id,
+                        src=src, token=token)
         if pending.observe_callback is not None and response.code.is_success:
             # Observation established: future notifications reuse the token.
             self._observations[token] = pending
+            if response.options.observe is not None:
+                self.trace.emit(self.sim.now, "coap.notify",
+                                node=self.node_id, src=src, token=token,
+                                seq=response.options.observe)
             pending.observe_callback(response)
         pending.callback(response)
 

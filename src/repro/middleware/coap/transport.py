@@ -118,6 +118,10 @@ class CoapTransport:
                 pending.on_fail()
             return
         self.retransmissions += 1
+        self.trace.emit(self.sim.now, "coap.retransmit",
+                        node=self.stack.node_id, dest=pending.dest,
+                        retries=pending.retries,
+                        max_retransmit=self.config.max_retransmit)
         pending.timeout *= 2.0
         pending.timer.start(pending.timeout)
         self._transmit(pending.dest, pending.message)

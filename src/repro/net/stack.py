@@ -344,7 +344,8 @@ class NetworkStack:
         self.stats.datagrams_delivered += 1
         self.trace.emit(self.sim.now, "net.delivered", node=self.node_id,
                         src=packet.src, port=datagram.dst_port,
-                        latency=latency, hops=packet.hops)
+                        latency=latency, hops=packet.hops,
+                        path=packet.source_route)
         if datagram.dst_port == RPL_DAO_PORT:
             if isinstance(datagram.payload, DaoMessage):
                 self.rpl.handle_dao(datagram.payload)

@@ -59,12 +59,31 @@ class TraceLog:
         record = TraceRecord(time=time, category=category, node=node, data=data)
         if self.enabled:
             self.records.append(record)
-        for callback in self._subscribers.get(category, ()):
+        # Iterate over a snapshot: a callback may unsubscribe (itself or
+        # another subscriber) while the notification loop runs.
+        for callback in tuple(self._subscribers.get(category, ())):
             callback(record)
 
-    def subscribe(self, category: str, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every future record in ``category``."""
-        self._subscribers.setdefault(category, []).append(callback)
+    def subscribe(
+        self, category: str, callback: Callable[[TraceRecord], None]
+    ) -> Callable[[], None]:
+        """Invoke ``callback`` for every future record in ``category``.
+
+        Returns an unsubscribe handle: a zero-argument callable that
+        removes the subscription (idempotent).  Long-lived loggers can
+        otherwise accumulate dead callbacks across repeated checker or
+        detector setup/teardown cycles.
+        """
+        callbacks = self._subscribers.setdefault(category, [])
+        callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass  # already removed
+
+        return unsubscribe
 
     def count(self, category: str) -> int:
         """Total records emitted in ``category`` (even while disabled)."""

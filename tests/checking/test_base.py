@@ -1,0 +1,152 @@
+"""The InvariantChecker contract and the CheckerSuite lifecycle."""
+
+import pytest
+
+from repro.checking.base import CheckerSuite, InvariantChecker, Violation
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+class RecordingChecker(InvariantChecker):
+    """Subscribes to one category and records every matching event."""
+
+    name = "test.recording"
+
+    def __init__(self, category: str = "alarm") -> None:
+        super().__init__()
+        self.category = category
+        self.finishes = 0
+
+    def _setup(self) -> None:
+        self.subscribe(self.category, lambda r: self.record("saw", node=r.node))
+
+    def finish(self) -> None:
+        self.finishes += 1
+
+
+class SamplingChecker(InvariantChecker):
+    name = "test.sampling"
+
+    def __init__(self, period_s: float) -> None:
+        super().__init__()
+        self.period_s = period_s
+        self.sample_times = []
+
+    def _setup(self) -> None:
+        self.sample_every(self.period_s, lambda: self.sample_times.append(self.sim.now))
+
+
+class TestViolation:
+    def test_str_renders_time_names_node_and_detail(self):
+        violation = Violation(time=12.5, checker="rpl.dodag",
+                              invariant="dodag_cycle", node=3,
+                              detail={"cycle": [1, 3]})
+        text = str(violation)
+        assert "[t=12.500]" in text
+        assert "rpl.dodag/dodag_cycle" in text
+        assert "node=3" in text
+        assert "cycle=[1, 3]" in text
+
+    def test_str_omits_node_when_system_wide(self):
+        violation = Violation(time=0.0, checker="c", invariant="i")
+        assert "node=" not in str(violation)
+
+
+class TestInvariantChecker:
+    def test_event_driven_checker_records_on_matching_category(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        checker = RecordingChecker().attach(sim, trace)
+        trace.emit(1.0, "other", node=1)
+        trace.emit(2.0, "alarm", node=2)
+        assert not checker.clean
+        assert checker.violations[0].invariant == "saw"
+        assert checker.violations[0].node == 2
+
+    def test_attach_twice_raises(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        checker = RecordingChecker().attach(sim, trace)
+        with pytest.raises(RuntimeError):
+            checker.attach(sim, trace)
+
+    def test_detach_drops_subscriptions_but_keeps_violations(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        checker = RecordingChecker().attach(sim, trace)
+        trace.emit(1.0, "alarm", node=1)
+        checker.detach()
+        trace.emit(2.0, "alarm", node=2)
+        assert len(checker.violations) == 1
+
+    def test_sampling_runs_on_a_fixed_period(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        checker = SamplingChecker(period_s=10.0).attach(sim, trace)
+        sim.run(until=35.0)
+        assert checker.sample_times == [10.0, 20.0, 30.0]
+
+    def test_detach_cancels_samplers(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        checker = SamplingChecker(period_s=10.0).attach(sim, trace)
+        sim.run(until=15.0)
+        checker.detach()
+        sim.run(until=60.0)
+        assert checker.sample_times == [10.0]
+
+    def test_sampler_rejects_nonpositive_period(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        with pytest.raises(ValueError):
+            SamplingChecker(period_s=0.0).attach(sim, trace)
+
+    def test_record_captures_sim_time_and_detail(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        checker = RecordingChecker().attach(sim, trace)
+        sim.schedule(5.0, lambda: checker.record("late", node=7, extra=1))
+        sim.run(until=10.0)
+        violation = checker.violations[0]
+        assert violation.time == 5.0
+        assert violation.detail == {"extra": 1}
+
+
+class TestCheckerSuite:
+    def _suite(self):
+        sim, trace = Simulator(seed=1), TraceLog()
+        return CheckerSuite(sim, trace), sim, trace
+
+    def test_violations_merge_across_checkers_sorted_by_time(self):
+        suite, sim, trace = self._suite()
+        first = suite.add(RecordingChecker("a"))
+        second = suite.add(RecordingChecker("b"))
+        trace.emit(5.0, "b", node=2)
+        trace.emit(1.0, "a", node=1)
+        assert len(suite.violations) == 2
+        assert not suite.clean
+        assert not first.clean and not second.clean
+        times = [v.time for v in suite.violations]
+        assert times == sorted(times)
+
+    def test_finish_runs_each_checker_once(self):
+        suite, _sim, _trace = self._suite()
+        checker = suite.add(RecordingChecker())
+        suite.finish()
+        suite.finish()
+        assert checker.finishes == 1
+
+    def test_assert_clean_lists_every_violation(self):
+        suite, _sim, trace = self._suite()
+        suite.add(RecordingChecker())
+        trace.emit(1.0, "alarm", node=1)
+        trace.emit(2.0, "alarm", node=2)
+        with pytest.raises(AssertionError) as err:
+            suite.assert_clean()
+        assert "2 invariant violation(s)" in str(err.value)
+        assert "test.recording/saw" in str(err.value)
+
+    def test_assert_clean_passes_when_clean(self):
+        suite, _sim, _trace = self._suite()
+        suite.add(RecordingChecker())
+        suite.assert_clean()
+
+    def test_detach_stops_all_checkers(self):
+        suite, _sim, trace = self._suite()
+        checker = suite.add(RecordingChecker())
+        suite.detach()
+        trace.emit(1.0, "alarm", node=1)
+        assert checker.clean

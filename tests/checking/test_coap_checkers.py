@@ -1,0 +1,109 @@
+"""CoAP exchange checker: clean on real exchanges, firing on duplicates."""
+
+from repro.checking.coap import CoapExchangeChecker
+from repro.middleware.coap.client import CoapClient
+from repro.middleware.coap.resource import CallbackResource, ObservableResource
+from repro.middleware.coap.server import CoapServer
+from repro.middleware.coap.transport import CoapTransport
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+from tests.conftest import build_line_network
+
+
+def _attach():
+    sim, trace = Simulator(seed=5), TraceLog()
+    checker = CoapExchangeChecker().attach(sim, trace)
+    return checker, sim, trace
+
+
+class TestCoapCheckerClean:
+    def test_real_request_response_cycle_is_clean(self):
+        sim, trace, stacks = build_line_network(3, seed=31)
+        sim.run(until=240.0)
+
+        server = CoapServer(CoapTransport(stacks[0]))
+        server.add_resource(CallbackResource(
+            "/status", on_get=lambda: ("ok", 2)))
+        client = CoapClient(CoapTransport(stacks[2]))
+
+        checker = CoapExchangeChecker().attach(sim, trace)
+        answers = []
+        client.get(0, "/status", lambda r: answers.append(r))
+        sim.run(until=sim.now + 120.0)
+
+        assert answers and answers[0] is not None
+        assert checker.exchanges_watched == 1
+        assert checker.clean, [str(v) for v in checker.violations]
+
+    def test_real_observe_stream_is_clean_and_monotone(self):
+        sim, trace, stacks = build_line_network(3, seed=32)
+        sim.run(until=240.0)
+
+        server = CoapServer(CoapTransport(stacks[0]))
+        resource = ObservableResource("/obs", initial=0)
+        server.add_resource(resource)
+        client = CoapClient(CoapTransport(stacks[2]))
+
+        checker = CoapExchangeChecker().attach(sim, trace)
+        seen = []
+        client.observe(0, "/obs", on_notification=lambda m: seen.append(m.payload))
+        sim.run(until=sim.now + 30.0)
+        resource.update(1)
+        sim.run(until=sim.now + 15.0)
+        resource.update(2)
+        sim.run(until=sim.now + 15.0)
+
+        assert seen == [0, 1, 2]
+        assert trace.count("coap.notify") >= 3
+        assert checker.clean, [str(v) for v in checker.violations]
+
+
+class TestCoapCheckerFiring:
+    def test_duplicated_response_is_flagged(self):
+        checker, _sim, trace = _attach()
+        # A lying client stub delivering the same token's response twice.
+        trace.emit(1.0, "coap.response", node=2, src=0, token=17)
+        trace.emit(2.0, "coap.response", node=2, src=0, token=17)
+        assert [v.invariant for v in checker.violations] == [
+            "response_not_at_most_once"
+        ]
+        assert checker.violations[0].detail["deliveries"] == 2
+
+    def test_distinct_tokens_and_nodes_do_not_collide(self):
+        checker, _sim, trace = _attach()
+        trace.emit(1.0, "coap.response", node=2, src=0, token=17)
+        trace.emit(2.0, "coap.response", node=2, src=0, token=18)
+        trace.emit(3.0, "coap.response", node=3, src=0, token=17)
+        assert checker.clean
+        assert checker.exchanges_watched == 3
+
+    def test_observe_sequence_regression_is_flagged(self):
+        checker, _sim, trace = _attach()
+        trace.emit(1.0, "coap.notify", node=2, src=0, token=9, seq=2)
+        trace.emit(2.0, "coap.notify", node=2, src=0, token=9, seq=5)
+        trace.emit(3.0, "coap.notify", node=2, src=0, token=9, seq=3)
+        assert [v.invariant for v in checker.violations] == [
+            "observe_sequence_regression"
+        ]
+        assert checker.violations[0].detail == {
+            "token": 9, "seq": 3, "previous": 5,
+        }
+
+    def test_observe_equal_seq_is_tolerated(self):
+        # Retransmitted notification: same seq twice is not a regression.
+        checker, _sim, trace = _attach()
+        trace.emit(1.0, "coap.notify", node=2, src=0, token=9, seq=4)
+        trace.emit(2.0, "coap.notify", node=2, src=0, token=9, seq=4)
+        assert checker.clean
+
+    def test_retransmit_overrun_is_flagged(self):
+        checker, _sim, trace = _attach()
+        trace.emit(1.0, "coap.retransmit", node=2, dest=0,
+                   retries=4, max_retransmit=4)
+        trace.emit(2.0, "coap.retransmit", node=2, dest=0,
+                   retries=5, max_retransmit=4)
+        assert [v.invariant for v in checker.violations] == [
+            "retransmit_limit_exceeded"
+        ]
+        assert checker.violations[0].detail["retries"] == 5

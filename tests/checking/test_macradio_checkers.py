@@ -1,0 +1,128 @@
+"""MAC/radio invariant checkers: clean on the real medium, firing on lies."""
+
+from repro.checking.macradio import (
+    CollisionAccountingChecker,
+    RadioStateChecker,
+    _airtime,
+)
+from repro.radio.medium import Medium, Radio, RadioState
+from repro.radio.propagation import UnitDiskModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+from tests.conftest import build_grid_network
+
+
+def _medium():
+    sim = Simulator(seed=3)
+    trace = TraceLog()
+    medium = Medium(sim, UnitDiskModel(radius_m=25.0), trace)
+    return sim, trace, medium
+
+
+class TestRadioStateCheckerClean:
+    def test_busy_grid_is_clean_including_counter_reconciliation(self):
+        sim, trace, stacks = build_grid_network(3, seed=21)
+        medium = stacks[0].radio.medium
+        checker = RadioStateChecker(medium)
+        checker.attach(sim, trace)
+        sim.run(until=300.0)
+        checker.finish()
+        assert sum(checker._tx_seen.values()) > 0
+        assert checker.clean, [str(v) for v in checker.violations]
+
+
+class TestRadioStateCheckerFiring:
+    def test_tx_while_radio_claims_sleep_is_flagged(self):
+        sim, trace, medium = _medium()
+        radio = Radio(medium, node_id=4, position=(0.0, 0.0))
+        checker = RadioStateChecker(medium).attach(sim, trace)
+        assert radio.state is RadioState.SLEEP
+        # A lying node: the trace says it transmitted, its radio says
+        # it was asleep the whole time.
+        trace.emit(1.0, "radio.tx", node=4, size=40)
+        hits = [v.invariant for v in checker.violations]
+        assert hits == ["tx_while_not_transmitting"]
+        assert checker.violations[0].detail["claimed_state"] == "sleep"
+
+    def test_tx_while_disabled_is_flagged(self):
+        sim, trace, medium = _medium()
+        radio = Radio(medium, node_id=4, position=(0.0, 0.0))
+        radio.enabled = False
+        checker = RadioStateChecker(medium).attach(sim, trace)
+        trace.emit(1.0, "radio.tx", node=4, size=40)
+        assert [v.invariant for v in checker.violations] == [
+            "tx_while_disabled"
+        ]
+
+    def test_tx_from_unknown_radio_is_flagged(self):
+        sim, trace, medium = _medium()
+        checker = RadioStateChecker(medium).attach(sim, trace)
+        trace.emit(1.0, "radio.tx", node=99, size=40)
+        assert [v.invariant for v in checker.violations] == [
+            "tx_from_unknown_radio"
+        ]
+
+    def test_counter_inflation_is_flagged_at_finish(self):
+        sim, trace, medium = _medium()
+        radio = Radio(medium, node_id=4, position=(0.0, 0.0))
+        checker = RadioStateChecker(medium).attach(sim, trace)
+        radio.frames_sent += 5  # counter says frames the trace never saw
+        checker.finish()
+        assert [v.invariant for v in checker.violations] == [
+            "tx_count_mismatch"
+        ]
+        assert checker.violations[0].detail["counter"] == 5
+
+
+class TestCollisionAccountingChecker:
+    def test_collision_with_real_interferer_is_clean(self):
+        sim, trace, medium = _medium()
+        checker = CollisionAccountingChecker(medium).attach(sim, trace)
+        end = _airtime(40)
+        trace.emit(0.0, "radio.tx", node=1, size=40)
+        trace.emit(0.0, "radio.tx", node=3, size=40)  # genuine interferer
+        trace.emit(end, "radio.collision", node=2, sender=1)
+        assert checker.collisions_checked == 1
+        assert checker.clean
+
+    def test_collision_without_any_transmission_is_flagged(self):
+        sim, trace, medium = _medium()
+        checker = CollisionAccountingChecker(medium).attach(sim, trace)
+        trace.emit(5.0, "radio.collision", node=2, sender=1)
+        assert [v.invariant for v in checker.violations] == [
+            "collision_without_transmission"
+        ]
+
+    def test_collision_without_interferer_is_flagged(self):
+        sim, trace, medium = _medium()
+        checker = CollisionAccountingChecker(medium).attach(sim, trace)
+        end = _airtime(40)
+        trace.emit(0.0, "radio.tx", node=1, size=40)
+        # A second frame that ended before the collided one started.
+        trace.emit(end + 1.0, "radio.tx", node=1, size=40)
+        trace.emit(end + 1.0 + _airtime(40), "radio.collision",
+                   node=2, sender=1)
+        assert [v.invariant for v in checker.violations] == [
+            "collision_without_interferer"
+        ]
+
+    def test_receivers_own_tx_does_not_count_as_interferer(self):
+        sim, trace, medium = _medium()
+        checker = CollisionAccountingChecker(medium).attach(sim, trace)
+        end = _airtime(40)
+        trace.emit(0.0, "radio.tx", node=1, size=40)
+        trace.emit(0.0, "radio.tx", node=2, size=40)  # the receiver itself
+        trace.emit(end, "radio.collision", node=2, sender=1)
+        assert [v.invariant for v in checker.violations] == [
+            "collision_without_interferer"
+        ]
+
+    def test_real_contended_medium_accounts_cleanly(self):
+        sim, trace, stacks = build_grid_network(3, seed=22)
+        medium = stacks[0].radio.medium
+        checker = CollisionAccountingChecker(medium).attach(sim, trace)
+        sim.run(until=400.0)
+        # A 3x3 grid joining over CSMA contends hard enough to collide.
+        assert checker.collisions_checked > 0
+        assert checker.clean, [str(v) for v in checker.violations]

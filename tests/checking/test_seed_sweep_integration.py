@@ -1,0 +1,43 @@
+"""Satellite: the seed-sweep harness over real fault scenarios.
+
+Partition + heal and border-router death under RNFD, each across ten
+seeds, with every default checker plus the CRDT checker attached — the
+acceptance sweep for the checking subsystem.  ``make check-invariants``
+runs this module (and the rest of tests/checking) separately from the
+tier-1 suite.
+"""
+
+from repro.checking.scenarios import (
+    partition_crdt_scenario,
+    rnfd_root_failure_scenario,
+)
+from repro.checking.sweep import SeedSweepRunner
+
+SEEDS = 10
+
+
+class TestSeedSweeps:
+    def test_partition_scenario_clean_across_seeds(self):
+        runner = SeedSweepRunner("partition-crdt", partition_crdt_scenario)
+        outcomes = runner.sweep(SEEDS)
+        assert len(outcomes) == SEEDS
+        assert all(o.clean for o in outcomes)
+
+    def test_rnfd_root_failure_clean_across_seeds(self):
+        runner = SeedSweepRunner("rnfd-root-failure",
+                                 rnfd_root_failure_scenario)
+        outcomes = runner.sweep(SEEDS)
+        assert len(outcomes) == SEEDS
+        assert all(o.clean for o in outcomes)
+
+    def test_scenarios_exercise_every_default_checker(self):
+        # The sweep only means something if the checkers actually saw
+        # traffic: DODAG samples, radio frames, CRDT law probes.
+        suite = partition_crdt_scenario(99)
+        suite.finish()
+        by_name = {c.name: c for c in suite.checkers}
+        assert by_name["rpl.dodag"].samples > 0
+        assert sum(by_name["radio.state"]._tx_seen.values()) > 0
+        assert by_name["crdt"].law_samples > 0
+        assert by_name["rpl.path"].deliveries >= 0
+        assert suite.clean

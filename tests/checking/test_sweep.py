@@ -1,0 +1,119 @@
+"""SeedSweepRunner: clean sweeps, repro bundles, failure reporting."""
+
+import pytest
+
+from repro.checking.base import CheckerSuite, InvariantChecker
+from repro.checking.sweep import (
+    InvariantViolationError,
+    ReproBundle,
+    SeedSweepRunner,
+)
+from repro.core.experiment import seeds_for
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+class AlwaysCleanChecker(InvariantChecker):
+    name = "test.clean"
+
+
+class FailsOnEvenSeeds(InvariantChecker):
+    """Records one violation at t=150 when its seed is even."""
+
+    name = "test.even"
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self.seed = seed
+
+    def _setup(self) -> None:
+        if self.seed % 2 == 0:
+            self.sim.schedule(150.0, lambda: self.record(
+                "even_seed", node=1, seed=self.seed))
+
+
+def clean_scenario(seed: int) -> CheckerSuite:
+    sim, trace = Simulator(seed=seed), TraceLog()
+    suite = CheckerSuite(sim, trace)
+    suite.add(AlwaysCleanChecker())
+    trace.emit(0.0, "setup", node=0)
+    sim.run(until=200.0)
+    return suite
+
+
+def parity_scenario(seed: int) -> CheckerSuite:
+    sim, trace = Simulator(seed=seed), TraceLog()
+    suite = CheckerSuite(sim, trace)
+    suite.add(FailsOnEvenSeeds(seed))
+    trace.emit(10.0, "early", node=0)
+    trace.emit(140.0, "late", node=0)
+    trace.emit(160.0, "aftermath", node=0)
+    sim.run(until=200.0)
+    return suite
+
+
+class TestSeedSweepRunner:
+    def test_clean_sweep_returns_all_outcomes(self):
+        runner = SeedSweepRunner("clean", clean_scenario)
+        outcomes = runner.sweep(5)
+        assert len(outcomes) == 5
+        assert all(o.clean for o in outcomes)
+        assert all(o.bundle is None for o in outcomes)
+        assert [o.seed for o in outcomes] == seeds_for(1, 5)
+
+    def test_explicit_seed_list(self):
+        runner = SeedSweepRunner("clean", clean_scenario)
+        outcomes = runner.run([3, 8, 21])
+        assert [o.seed for o in outcomes] == [3, 8, 21]
+
+    def test_failing_seed_produces_a_repro_bundle(self):
+        runner = SeedSweepRunner("parity", parity_scenario,
+                                 trace_window_s=120.0)
+        outcome = runner.run_seed(4)
+        assert not outcome.clean
+        bundle = outcome.bundle
+        assert isinstance(bundle, ReproBundle)
+        assert bundle.scenario == "parity"
+        assert bundle.seed == 4
+        assert [v.invariant for v in bundle.violations] == ["even_seed"]
+
+    def test_bundle_trace_tail_covers_the_window_and_the_violation(self):
+        runner = SeedSweepRunner("parity", parity_scenario,
+                                 trace_window_s=120.0)
+        bundle = runner.run_seed(4).bundle
+        # Run ends at t=200, window 120 -> records from t>=80... but the
+        # window is widened to include the first violation (t=150).
+        times = [r.time for r in bundle.trace_tail]
+        assert 140.0 in times
+        assert 10.0 not in times
+
+    def test_window_stretches_back_to_the_first_violation(self):
+        runner = SeedSweepRunner("parity", parity_scenario,
+                                 trace_window_s=1.0)
+        bundle = runner.run_seed(4).bundle
+        # Even a tiny window must keep everything from the violation on:
+        # start = min(now - window, first violation time) = 150.
+        assert [r.time for r in bundle.trace_tail] == [160.0]
+
+    def test_clean_seed_in_failing_scenario_passes(self):
+        runner = SeedSweepRunner("parity", parity_scenario)
+        assert runner.run_seed(3).clean
+
+    def test_assert_clean_raises_with_summary(self):
+        runner = SeedSweepRunner("parity", parity_scenario)
+        outcomes = runner.run([3, 4, 5])
+        with pytest.raises(InvariantViolationError) as err:
+            runner.assert_clean(outcomes)
+        assert err.value.bundle.seed == 4
+        message = str(err.value)
+        assert "scenario='parity' seed=4" in message
+        assert "even_seed" in message
+        assert "repro" in message
+
+    def test_summary_truncates_long_listings(self):
+        suite = clean_scenario(1)
+        checker = suite.checkers[0]
+        records = [checker.record(f"v{i}", node=i) for i in range(15)]
+        bundle = ReproBundle("big", 1, records, [])
+        text = bundle.summary(max_violations=10)
+        assert "... 5 more" in text

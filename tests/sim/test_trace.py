@@ -55,6 +55,33 @@ class TestTraceLog:
         log.emit(2.0, "alarm")
         assert seen == [2.0]
 
+    def test_subscribe_returns_unsubscribe_handle(self):
+        log = TraceLog()
+        seen = []
+        unsubscribe = log.subscribe("alarm", lambda r: seen.append(r.time))
+        log.emit(1.0, "alarm")
+        unsubscribe()
+        log.emit(2.0, "alarm")
+        assert seen == [1.0]
+        unsubscribe()  # idempotent
+        log.emit(3.0, "alarm")
+        assert seen == [1.0]
+
+    def test_unsubscribe_during_emit_is_safe(self):
+        log = TraceLog()
+        seen = []
+        handles = {}
+
+        def first(record):
+            seen.append(("first", record.time))
+            handles["first"]()  # remove self mid-notification
+
+        handles["first"] = log.subscribe("alarm", first)
+        log.subscribe("alarm", lambda r: seen.append(("second", r.time)))
+        log.emit(1.0, "alarm")
+        log.emit(2.0, "alarm")
+        assert seen == [("first", 1.0), ("second", 1.0), ("second", 2.0)]
+
     def test_clear_resets_everything(self):
         log = TraceLog()
         log.emit(1.0, "a")
