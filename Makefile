@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check-invariants sweep bench demo
+.PHONY: test check-invariants sweep bench bench-perf demo
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -9,19 +9,32 @@ test:
 
 # The invariant-checking suite: per-checker unit tests, determinism
 # regressions, and the multi-seed fault sweeps. Kept separate from
-# tier-1 so its longer scenario runs don't slow the inner loop.
+# tier-1 so its longer scenario runs don't slow the inner loop. The CLI
+# sweep runs with --jobs 2 as a standing smoke of the parallel engine
+# (outcomes are identical for every jobs count).
 check-invariants:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
 
-# Just the CLI sweep (SEEDS=n to widen).
+# Just the CLI sweep (SEEDS=n to widen, JOBS=n to parallelize; 0 = all
+# cores).
 SEEDS ?= 10
+JOBS ?= 1
 sweep:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds $(SEEDS)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds $(SEEDS) --jobs $(JOBS)
 
-# The paper's experiment suite.
+# The paper's experiment suite (REPRO_BENCH_JOBS=0 uses all cores for
+# benchmarks wired through benchmarks/_common.py trial helpers).
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# The perf baseline: kernel events/sec, medium frames/sec, serial vs
+# parallel trials/sec. Writes BENCH_core.json at the repo root —
+# rerun before and after optimization PRs and compare. BENCH_JOBS=0
+# (the default) sizes the parallel leg to all available cores.
+BENCH_JOBS ?= 0
+bench-perf:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_core.py --jobs $(BENCH_JOBS)
 
 demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro

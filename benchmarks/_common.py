@@ -10,11 +10,42 @@ wall-clock cost is tracked too.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.core.experiment import Sweep
 from repro.core.report import ascii_table, write_csv
+from repro.parallel import TrialExecutor
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def trial_jobs(default: int = 1) -> int:
+    """Worker processes for benchmark trials.
+
+    Set ``REPRO_BENCH_JOBS`` (0 = all cores) to fan independent trials
+    out over a process pool.  Results are merged by trial index, so a
+    benchmark's tables are byte-identical for every jobs count — the
+    knob only changes wall-clock time.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+def run_trials(fn: Callable[..., Any],
+               argses: Sequence[tuple]) -> List[Any]:
+    """Run independent trial calls under the shared jobs knob.
+
+    ``fn`` must be a module-level function for the parallel path;
+    closures transparently degrade to serial execution.
+    """
+    return TrialExecutor(trial_jobs()).map(fn, argses)
+
+
+def run_sweep(parameter: str, values: Sequence[Any],
+              scenario: Callable[[Any, int], Dict[str, float]],
+              repetitions: int = 3, base_seed: int = 1) -> Sweep:
+    """A :class:`Sweep` honouring ``REPRO_BENCH_JOBS``."""
+    return Sweep(parameter).run(values, scenario, repetitions=repetitions,
+                                base_seed=base_seed, jobs=trial_jobs())
 
 
 def publish(

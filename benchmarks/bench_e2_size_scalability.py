@@ -10,7 +10,7 @@ Series: grid side 3/5/7 (9 → 49 nodes), centralized raw collection vs
 in-network AVG aggregation; reported per epoch.
 """
 
-from benchmarks._common import once, publish
+from benchmarks._common import once, publish, run_trials
 from repro.aggregation.service import AggregationService, RawCollectionService
 from repro.core.system import IIoTSystem, SystemConfig
 from repro.deployment.topology import grid_topology
@@ -77,11 +77,14 @@ def _run_agg(side, seed):
 
 
 def run_e2():
+    sides = (3, 5, 7)
+    # Independent (design, size, seed) trials: fan out under
+    # REPRO_BENCH_JOBS, merge by index (order-identical to serial).
+    raws = run_trials(_run_raw, [(side, 40 + side) for side in sides])
+    aggs = run_trials(_run_agg, [(side, 40 + side) for side in sides])
     rows = []
-    for side in (3, 5, 7):
+    for side, raw, agg in zip(sides, raws, aggs):
         n = side * side
-        raw = _run_raw(side, seed=40 + side)
-        agg = _run_agg(side, seed=40 + side)
         rows.append({
             "nodes": n,
             "raw: busiest fwd/epoch": raw["busiest_fwd_per_epoch"],

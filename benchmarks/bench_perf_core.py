@@ -1,0 +1,243 @@
+"""Perf baseline — kernel, medium, and trial-engine throughput.
+
+This is the repository's performance trajectory anchor: it measures the
+three hot paths the rest of the suite leans on — discrete-event
+dispatch (events/sec), frame delivery through the shared medium
+(frames/sec), and whole-trial throughput serial vs. parallel
+(trials/sec) — and persists them to ``BENCH_core.json`` at the repo
+root.  Future optimization PRs regress against that file: run
+``make bench-perf`` before and after, and compare.
+
+Correctness is asserted alongside speed: the parallel sweep must yield
+**byte-identical** rows to the serial sweep (merge-by-index contract of
+:mod:`repro.parallel`), and the speedup is only demanded when the
+machine actually has cores to parallelize over.
+
+Runnable two ways::
+
+    make bench-perf                      # python benchmarks/bench_perf_core.py
+    pytest benchmarks/ --benchmark-only  # alongside the experiment suite
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.core.experiment import Sweep
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.deployment.topology import grid_topology
+from repro.devices.phenomena import DiurnalField
+from repro.net.stack import StackConfig
+from repro.parallel import TrialExecutor, resolve_jobs
+from repro.radio.medium import Medium, Radio
+from repro.radio.propagation import UnitDiskModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_core.json",
+)
+
+#: The acceptance sweep: 4 values x 5 seeds = 20 independent trials.
+SWEEP_VALUES = (2, 3, 4, 5)
+SWEEP_REPETITIONS = 5
+
+
+# ----------------------------------------------------------------------
+# 1. kernel: raw event dispatch + cancellation churn
+# ----------------------------------------------------------------------
+def kernel_events_per_sec(events: int = 150_000, timers: int = 100) -> Dict[str, Any]:
+    """Events/sec through the scheduler under timer-heavy load.
+
+    Each timer reschedules itself and cancels a decoy it scheduled the
+    tick before — the cancel-much-more-than-fire pattern of MAC
+    backoffs and CoAP retransmissions, which is exactly what the heap's
+    skip-count/compaction path exists for.
+    """
+    sim = Simulator(seed=7)
+    decoys = [None] * timers
+
+    def make_tick(i: int, period: float):
+        def tick() -> None:
+            if decoys[i] is not None:
+                decoys[i].cancel()
+            decoys[i] = sim.schedule(period * 50.0, lambda: None)
+            sim.schedule(period, tick)
+        return tick
+
+    for i in range(timers):
+        sim.schedule(0.001 * (i + 1), make_tick(i, 0.01 + 0.0001 * i))
+    start = time.perf_counter()
+    sim.run(max_events=events)
+    wall = time.perf_counter() - start
+    return {
+        "events": sim.events_processed,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(sim.events_processed / wall),
+        "heap_compactions": sim._compactions,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. medium: frame delivery fan-out
+# ----------------------------------------------------------------------
+def medium_frames_per_sec(frames: int = 4_000, receivers: int = 24) -> Dict[str, Any]:
+    """Frames/sec through the shared medium with a busy neighborhood.
+
+    One sender saturates the channel back-to-back while ``receivers``
+    listeners each take the full delivery path (audible set, collision
+    arbitration, PRR draw).  Tracing is disabled — the common benchmark
+    configuration — so this also measures the ``TraceLog.emit`` no-op
+    guard.
+    """
+    sim = Simulator(seed=11)
+    medium = Medium(sim, UnitDiskModel(radius_m=100.0), TraceLog(enabled=False))
+    sender = Radio(medium, 0, (0.0, 0.0))
+    for i in range(receivers):
+        radio = Radio(medium, 1 + i, (5.0 + (i % 6) * 10.0, (i // 6) * 10.0))
+        radio.on_receive = lambda frame, rssi: None
+        radio.set_listening()
+    sent = [0]
+
+    def send_next() -> None:
+        if sent[0] >= frames:
+            return
+        sent[0] += 1
+        sender.transmit("payload", 50, done=send_next)
+
+    send_next()
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    delivered = sum(r.frames_received for r in medium.radios.values())
+    return {
+        "frames": sent[0],
+        "deliveries": delivered,
+        "wall_s": round(wall, 4),
+        "frames_per_sec": round(sent[0] / wall),
+        "deliveries_per_sec": round(delivered / wall),
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. trial engine: serial vs parallel sweep
+# ----------------------------------------------------------------------
+def sweep_trial(side: int, seed: int) -> Dict[str, float]:
+    """One representative experiment trial (module-level: picklable).
+
+    Builds a ``side x side`` deployment, converges it, and reports
+    join fraction plus event throughput — a scaled-down E2-style trial.
+    """
+    config = SystemConfig(stack=StackConfig(mac="csma"))
+    system = IIoTSystem.build(grid_topology(side), config=config, seed=seed)
+    system.add_field_sensors("temp", DiurnalField(mean=20.0))
+    system.start()
+    # Long enough that a trial dominates process-pool dispatch overhead.
+    system.run(1800.0)
+    return {
+        "joined": system.joined_fraction(),
+        "events": float(system.sim.events_processed),
+    }
+
+
+def trial_throughput(jobs: int) -> Dict[str, Any]:
+    """The acceptance sweep, serial then parallel, rows compared."""
+    start = time.perf_counter()
+    serial = Sweep("side").run(SWEEP_VALUES, sweep_trial,
+                               repetitions=SWEEP_REPETITIONS, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = Sweep("side").run(SWEEP_VALUES, sweep_trial,
+                                 repetitions=SWEEP_REPETITIONS, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    identical = (serial.trials == parallel.trials
+                 and json.dumps(serial.rows()) == json.dumps(parallel.rows()))
+    trials = len(serial.trials)
+    return {
+        "trials": trials,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "serial_trials_per_sec": round(trials / serial_s, 2),
+        "parallel_trials_per_sec": round(trials / parallel_s, 2),
+        "speedup": round(serial_s / parallel_s, 2),
+        "rows_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def run_perf_core(jobs: int = 0) -> Dict[str, Any]:
+    """Run all three measurements and write ``BENCH_core.json``."""
+    jobs = resolve_jobs(jobs if jobs else None)
+    payload = {
+        "bench": "perf_core",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "usable_cores": resolve_jobs(None),
+            "python": platform.python_version(),
+        },
+        "kernel": kernel_events_per_sec(),
+        "medium": medium_frames_per_sec(),
+        "sweep": trial_throughput(jobs),
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def _assert_shape(payload: Dict[str, Any]) -> None:
+    assert payload["kernel"]["events_per_sec"] > 10_000
+    assert payload["medium"]["frames_per_sec"] > 100
+    assert payload["medium"]["deliveries"] > 0
+    sweep = payload["sweep"]
+    # The determinism contract is unconditional; the speedup demand only
+    # applies where there are cores to win on (a 4-core runner).
+    assert sweep["rows_identical"], "parallel sweep diverged from serial"
+    if payload["host"]["usable_cores"] >= 4 and sweep["jobs"] >= 4:
+        assert sweep["speedup"] >= 2.0, (
+            f"expected >= 2x on {payload['host']['usable_cores']} cores, "
+            f"got {sweep['speedup']}x"
+        )
+
+
+def bench_perf_core(benchmark) -> None:
+    from benchmarks._common import once
+
+    payload = once(benchmark, run_perf_core)
+    _assert_shape(payload)
+    print(f"\nperf_core: kernel {payload['kernel']['events_per_sec']:,} ev/s, "
+          f"medium {payload['medium']['frames_per_sec']:,} frames/s, "
+          f"sweep x{payload['sweep']['speedup']} with "
+          f"jobs={payload['sweep']['jobs']} -> {BENCH_PATH}")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="workers for the parallel sweep leg "
+                             "(default: all cores)")
+    args = parser.parse_args(argv)
+    payload = run_perf_core(jobs=args.jobs)
+    _assert_shape(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.deployment.topology import (
     random_topology,
 )
 from repro.net.stack import NetworkStack, StackConfig
+from repro.parallel import TrialExecutor
 from repro.radio.medium import Medium, Radio
 from repro.radio.propagation import LogDistanceModel, UnitDiskModel
 from repro.sim.kernel import Simulator
@@ -50,6 +51,7 @@ __all__ = [
     "SystemConfig",
     "Topology",
     "TraceLog",
+    "TrialExecutor",
     "UnitDiskModel",
     "__version__",
     "building_topology",

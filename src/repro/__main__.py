@@ -36,6 +36,10 @@ def sweep_main(argv) -> int:
                         help="seeds per scenario (default: 10)")
     parser.add_argument("--base-seed", type=int, default=1,
                         help="base of the deterministic seed list")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (0 = all "
+                             "cores; default: 1, serial). Outcomes are "
+                             "identical for every jobs count.")
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -44,7 +48,8 @@ def sweep_main(argv) -> int:
     failed = False
     for name in names:
         runner = SeedSweepRunner(name, BUILTIN_SCENARIOS[name])
-        outcomes = runner.run_count(args.seeds, base_seed=args.base_seed)
+        outcomes = runner.run_count(args.seeds, base_seed=args.base_seed,
+                                    jobs=args.jobs)
         bad = [o for o in outcomes if not o.clean]
         verdict = "OK" if not bad else f"{len(bad)} seed(s) VIOLATED"
         print(f"{name}: {len(outcomes)} seeds, {verdict}")

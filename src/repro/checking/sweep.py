@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.checking.base import CheckerSuite, Violation
 from repro.core.experiment import seeds_for
+from repro.parallel import TrialExecutor
 from repro.sim.trace import TraceRecord
 
 Scenario = Callable[[int], CheckerSuite]
@@ -113,12 +114,21 @@ class SeedSweepRunner:
             bundle = ReproBundle(self.name, seed, violations, tail)
         return SweepOutcome(seed=seed, violations=violations, bundle=bundle)
 
-    def run(self, seeds: Sequence[int]) -> List[SweepOutcome]:
-        return [self.run_seed(seed) for seed in seeds]
+    def run(self, seeds: Sequence[int], jobs: int = 1) -> List[SweepOutcome]:
+        """Run every seed; ``jobs`` > 1 fans the runs out over a process
+        pool (outcomes — including repro bundles — are merged by seed
+        index, so the list is identical to a serial run's).
 
-    def run_count(self, repetitions: int, base_seed: int = 1) -> List[SweepOutcome]:
+        Scenarios that cannot be pickled (locally-defined closures) fall
+        back to serial execution transparently.
+        """
+        executor = TrialExecutor(jobs)
+        return executor.map(self.run_seed, [(seed,) for seed in seeds])
+
+    def run_count(self, repetitions: int, base_seed: int = 1,
+                  jobs: int = 1) -> List[SweepOutcome]:
         """Run over the standard deterministic seed list."""
-        return self.run(seeds_for(base_seed, repetitions))
+        return self.run(seeds_for(base_seed, repetitions), jobs=jobs)
 
     # ------------------------------------------------------------------
     def assert_clean(self, outcomes: Sequence[SweepOutcome]) -> None:
@@ -127,8 +137,9 @@ class SeedSweepRunner:
             if outcome.bundle is not None:
                 raise InvariantViolationError(outcome.bundle)
 
-    def sweep(self, repetitions: int, base_seed: int = 1) -> List[SweepOutcome]:
+    def sweep(self, repetitions: int, base_seed: int = 1,
+              jobs: int = 1) -> List[SweepOutcome]:
         """``run_count`` + ``assert_clean`` in one call."""
-        outcomes = self.run_count(repetitions, base_seed)
+        outcomes = self.run_count(repetitions, base_seed, jobs=jobs)
         self.assert_clean(outcomes)
         return outcomes

@@ -3,13 +3,18 @@
 Every benchmark is a sweep: for each parameter value, run the scenario
 under several seeds and reduce the per-trial metrics to means.  Seeds
 are derived deterministically so re-running a benchmark reproduces its
-table exactly.
+table exactly — including under ``jobs > 1``, where trials execute on a
+process pool but are merged back strictly by trial index (see
+:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel import TrialExecutor
 
 
 def seeds_for(base: int, repetitions: int) -> List[int]:
@@ -47,46 +52,65 @@ class Sweep:
         repetitions: int = 3,
         base_seed: int = 1,
         on_trial: Optional[Callable[[Trial], None]] = None,
+        jobs: int = 1,
     ) -> "Sweep":
-        """Execute the sweep (synchronously, deterministically).
+        """Execute the sweep deterministically, optionally in parallel.
+
+        ``jobs`` > 1 runs trials on a process pool
+        (:class:`~repro.parallel.TrialExecutor`); results are merged by
+        trial index, never by arrival order, so the trial list — and
+        therefore :meth:`rows` — is byte-identical to a serial run.
+        Scenarios that cannot be pickled (closures, lambdas) silently
+        fall back to serial execution.
 
         ``on_trial``, when given, observes each completed trial — e.g.
         to assert per-run invariants or stream progress — without
-        affecting the sweep itself.
+        affecting the sweep itself.  It always runs in the parent
+        process, in trial order.
         """
-        for index, value in enumerate(values):
-            for seed in seeds_for(base_seed + index, repetitions):
-                metrics = scenario(value, seed)
-                trial = Trial(params={self.parameter: value}, seed=seed,
-                              metrics=metrics)
-                self.trials.append(trial)
-                if on_trial is not None:
-                    on_trial(trial)
+        tasks: List[Tuple[Any, int]] = [
+            (value, seed)
+            for index, value in enumerate(values)
+            for seed in seeds_for(base_seed + index, repetitions)
+        ]
+        executor = TrialExecutor(jobs)
+        for (value, seed), metrics in zip(tasks, executor.imap(scenario, tasks)):
+            trial = Trial(params={self.parameter: value}, seed=seed,
+                          metrics=metrics)
+            self.trials.append(trial)
+            if on_trial is not None:
+                on_trial(trial)
         return self
 
     def rows(self) -> List[Dict[str, Any]]:
-        """Per-value mean of every metric, in sweep order."""
+        """Per-value mean of every metric, in sweep order.
+
+        Every row carries the same metric columns, in first-appearance
+        order over the trial list (deterministic for any ``jobs`` count,
+        because trials are index-ordered).  A metric missing from *all*
+        trials of a value renders as ``float("nan")``; a metric present
+        in only some of them averages over the trials that reported it.
+        """
         ordered: List[Any] = []
         grouped: Dict[Any, List[Trial]] = {}
+        metric_names: List[str] = []
         for trial in self.trials:
             value = trial.params[self.parameter]
             if value not in grouped:
                 grouped[value] = []
                 ordered.append(value)
             grouped[value].append(trial)
+            for name in trial.metrics:
+                if name not in metric_names:
+                    metric_names.append(name)
         rows = []
         for value in ordered:
             trials = grouped[value]
             row: Dict[str, Any] = {self.parameter: value}
-            metric_names: List[str] = []
-            for trial in trials:
-                for name in trial.metrics:
-                    if name not in metric_names:
-                        metric_names.append(name)
             for name in metric_names:
                 samples = [
                     t.metrics[name] for t in trials if name in t.metrics
                 ]
-                row[name] = sum(samples) / len(samples) if samples else float("nan")
+                row[name] = sum(samples) / len(samples) if samples else math.nan
             rows.append(row)
         return rows

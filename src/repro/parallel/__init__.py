@@ -1,0 +1,17 @@
+"""Deterministic multi-process trial execution.
+
+Every quantitative claim in the reproduction is a sweep of independent
+``(parameter, seed)`` trials, and each trial is a pure function of its
+arguments — so trials can run on all cores *without* giving up
+reproducibility, provided results are merged by trial index rather than
+by arrival order.  :class:`TrialExecutor` is that contract as code: it
+maps a callable over argument tuples on a process pool and yields
+results in submission order, falling back to in-process serial execution
+when parallelism cannot help (``jobs=1``, a single task) or cannot work
+(the callable or its arguments are not picklable, or we are already
+inside a worker process).
+"""
+
+from repro.parallel.executor import TrialExecutor, payload_picklable, resolve_jobs
+
+__all__ = ["TrialExecutor", "payload_picklable", "resolve_jobs"]

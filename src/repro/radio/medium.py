@@ -15,6 +15,7 @@ charge drawn, which drives the funnel-effect and lifetime experiments.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
@@ -197,7 +198,11 @@ class Medium:
         self.model = model
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.radios: Dict[int, Radio] = {}
-        self._active: List[_Transmission] = []
+        #: Min-heap of ``(end, seq, transmission)``: recent and in-flight
+        #: transmissions, pruned lazily (see :meth:`_prune_active`).
+        self._active: List[Tuple[float, int, _Transmission]] = []
+        self._active_seq = 0
+        self._max_airtime = 0.0
         self._rssi_cache: Dict[Tuple[int, int], float] = {}
         self._audible_cache: Dict[int, List[Tuple[Radio, float]]] = {}
         self._rng = sim.substream("radio.medium")
@@ -241,7 +246,13 @@ class Medium:
         return value
 
     def audible_from(self, sender: Radio) -> List[Tuple[Radio, float]]:
-        """Radios that can hear ``sender`` at all, with their RSSI."""
+        """Radios that can hear ``sender`` at all, with their RSSI.
+
+        Sorted by ``(rssi descending, node_id)``: delivery iteration
+        order is a property of the radio environment, not of dict
+        insertion order, so adding radios in a different order cannot
+        perturb a seeded run.
+        """
         cached = self._audible_cache.get(sender.node_id)
         if cached is None:
             cached = []
@@ -253,6 +264,7 @@ class Medium:
                 rssi = self.rssi_between(sender, radio)
                 if rssi >= AUDIBLE_THRESHOLD_DBM:
                     cached.append((radio, rssi))
+            cached.sort(key=lambda pair: (-pair[1], pair[0].node_id))
             self._audible_cache[sender.node_id] = cached
         return cached
 
@@ -272,15 +284,25 @@ class Medium:
     # ------------------------------------------------------------------
     # channel activity
     # ------------------------------------------------------------------
-    def _gc_active(self) -> None:
-        now = self.sim.now
-        if len(self._active) > 32:
-            self._active = [t for t in self._active if t.end > now]
+    def _prune_active(self, now: float) -> None:
+        """Lazily drop transmissions nothing can still observe.
+
+        A finished transmission must outlive its end: an in-flight frame
+        that overlapped it still needs it for collision arbitration at
+        delivery time.  Any frame in flight at ``now`` started no
+        earlier than ``now - max_airtime``, so entries ending before
+        that horizon are unobservable and pop off the end-ordered heap
+        in O(log n) — overlap queries then never re-filter them.
+        """
+        horizon = now - self._max_airtime
+        active = self._active
+        while active and active[0][0] <= horizon:
+            heapq.heappop(active)
 
     def carrier_busy(self, radio: Radio) -> bool:
         """True if any audible transmission occupies ``radio``'s channel."""
         now = self.sim.now
-        for tx in self._active:
+        for _end, _seq, tx in self._active:
             if tx.end <= now or tx.radio is radio:
                 continue
             if not tx.frame.interferes_with(radio.channel):
@@ -302,11 +324,14 @@ class Medium:
             raise RuntimeError(f"radio {radio.node_id} is disabled (node failed)")
         if radio.state is RadioState.TX:
             raise RuntimeError(f"radio {radio.node_id} already transmitting")
-        self._gc_active()
         now = self.sim.now
         airtime = frame.airtime
+        if airtime > self._max_airtime:
+            self._max_airtime = airtime
+        self._prune_active(now)
         tx = _Transmission(radio=radio, frame=frame, start=now, end=now + airtime)
-        self._active.append(tx)
+        self._active_seq += 1
+        heapq.heappush(self._active, (tx.end, self._active_seq, tx))
         radio._set_state(RadioState.TX)
         radio.frames_sent += 1
         radio.bytes_sent += frame.size_bytes
@@ -355,7 +380,7 @@ class Medium:
         self, tx: _Transmission, receiver: Radio
     ) -> Optional[float]:
         strongest: Optional[float] = None
-        for other in self._active:
+        for _end, _seq, other in self._active:
             if other is tx or other.radio is receiver:
                 continue
             if other.end <= tx.start or other.start >= tx.end:

@@ -28,19 +28,26 @@ class EventHandle:
     Cancellation is lazy: the event stays in the heap but is skipped when
     popped.  This keeps cancellation O(1) which matters because protocol
     timers (MAC backoffs, Trickle intervals, CoAP retransmissions) are
-    cancelled far more often than they fire.
+    cancelled far more often than they fire.  The owning simulator
+    counts cancelled-but-queued events and compacts the heap when they
+    dominate it, so long-lived runs don't drag dead entries through
+    every push and pop.
     """
 
-    __slots__ = ("time", "callback", "cancelled", "fired")
+    __slots__ = ("time", "callback", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    def __init__(self, time: float, callback: Callable[[], None],
+                 sim: Optional["Simulator"] = None) -> None:
         self.time = time
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
+        if not self.cancelled and not self.fired and self._sim is not None:
+            self._sim._note_cancelled()
         self.cancelled = True
 
     @property
@@ -70,6 +77,10 @@ class Simulator:
     [1.0, 2.0]
     """
 
+    #: Compact only past this many dead entries: below it, scanning the
+    #: heap costs more than the skips it would save.
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
@@ -80,6 +91,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._cancelled_queued = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # time
@@ -137,7 +150,10 @@ class Simulator:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self._now:
             raise SimTimeError(f"cannot schedule at {time} < now {self._now}")
-        handle = EventHandle(time, callback)
+        if (self._cancelled_queued >= self._COMPACT_MIN_CANCELLED
+                and self._cancelled_queued * 2 >= len(self._heap)):
+            self._compact()
+        handle = EventHandle(time, callback, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, priority, self._seq, handle))
         return handle
@@ -150,6 +166,7 @@ class Simulator:
         while self._heap:
             time, _priority, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_queued -= 1
                 continue
             self._now = time
             handle.fired = True
@@ -194,14 +211,36 @@ class Simulator:
             time, _priority, _seq, handle = self._heap[0]
             if handle.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_queued -= 1
                 continue
             return time
         return None
 
+    # ------------------------------------------------------------------
+    # heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An EventHandle in the heap was cancelled before firing."""
+        self._cancelled_queued += 1
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order depends only on the ``(time, priority, seq)`` total
+        order of the entries, not on the heap's internal layout, so
+        compaction cannot change event execution order — determinism
+        survives.  Triggered when at least half the heap is dead, which
+        bounds amortized cost at O(1) per cancellation.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_queued = 0
+        self._compactions += 1
+
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for (_t, _p, _s, h) in self._heap if not h.cancelled)
+        return len(self._heap) - self._cancelled_queued
 
     # ------------------------------------------------------------------
     # conveniences

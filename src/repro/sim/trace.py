@@ -54,15 +54,27 @@ class TraceLog:
         node: Optional[int] = None,
         **data: Any,
     ) -> None:
-        """Record one occurrence and notify subscribers."""
-        self.counters[category] = self.counters.get(category, 0) + 1
+        """Record one occurrence and notify subscribers.
+
+        Counters always accumulate; the :class:`TraceRecord` itself is
+        only built when someone will see it (recording enabled, or a
+        subscriber on this category).  Disabled-and-unwatched emits are
+        therefore nearly free — the common case for benchmark runs,
+        which is why protocols can trace liberally.
+        """
+        counters = self.counters
+        counters[category] = counters.get(category, 0) + 1
+        subscribers = self._subscribers.get(category)
+        if not self.enabled and not subscribers:
+            return
         record = TraceRecord(time=time, category=category, node=node, data=data)
         if self.enabled:
             self.records.append(record)
-        # Iterate over a snapshot: a callback may unsubscribe (itself or
-        # another subscriber) while the notification loop runs.
-        for callback in tuple(self._subscribers.get(category, ())):
-            callback(record)
+        if subscribers:
+            # Iterate over a snapshot: a callback may unsubscribe
+            # (itself or another subscriber) while the loop runs.
+            for callback in tuple(subscribers):
+                callback(record)
 
     def subscribe(
         self, category: str, callback: Callable[[TraceRecord], None]

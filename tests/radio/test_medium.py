@@ -254,3 +254,78 @@ class TestLinkFilter:
         Radio(medium, 3, (100, 0))
         assert medium.link_prr(1, 2) == 1.0
         assert medium.link_prr(1, 3) == 0.0
+
+
+class TestAudibleOrdering:
+    class _FixedRssi(UnitDiskModel):
+        """RSSI keyed by receiver x-coordinate, independent of distance."""
+
+        LEVELS = {10.0: -50.0, 20.0: -40.0, 30.0: -40.0, 40.0: -70.0}
+
+        def rssi_dbm(self, sender, receiver, tx_power_dbm):
+            return self.LEVELS.get(receiver[0], -45.0)
+
+    def _build(self, sim, attach_order):
+        medium = Medium(sim, self._FixedRssi(radius_m=500.0),
+                        TraceLog(enabled=False))
+        sender = Radio(medium, 0, (0.0, 0.0))
+        for node_id, x in attach_order:
+            Radio(medium, node_id, (x, 0.0))
+        return medium, sender
+
+    def test_sorted_by_rssi_desc_then_node_id(self, sim):
+        medium, sender = self._build(
+            sim, [(1, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)])
+        order = [(r.node_id, rssi) for r, rssi in medium.audible_from(sender)]
+        # -40 dBm pair first (tie broken by node id), then -50, then -70.
+        assert order == [(2, -40.0), (3, -40.0), (1, -50.0), (4, -70.0)]
+
+    def test_order_independent_of_attach_order(self):
+        orders = []
+        for attach in ([(1, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)],
+                       [(4, 40.0), (3, 30.0), (2, 20.0), (1, 10.0)],
+                       [(2, 20.0), (4, 40.0), (1, 10.0), (3, 30.0)]):
+            medium, sender = self._build(Simulator(seed=5), attach)
+            orders.append([r.node_id
+                           for r, _ in medium.audible_from(sender)])
+        assert orders[0] == orders[1] == orders[2] == [2, 3, 1, 4]
+
+
+class TestActivePruning:
+    def test_active_set_stays_bounded_under_sequential_traffic(self, sim):
+        medium = make_medium(sim)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (10, 0))
+        b.set_listening()
+        count = [0]
+
+        def send_next():
+            if count[0] >= 200:
+                return
+            count[0] += 1
+            a.transmit("x", 20, done=send_next)
+
+        send_next()
+        sim.run()
+        # 200 back-to-back frames: expired entries must have been pruned
+        # rather than accumulating for every overlap query to re-filter.
+        assert count[0] == 200
+        assert len(medium._active) <= 4
+
+    def test_pruning_keeps_interferers_needed_by_inflight_frames(self, sim):
+        """A frame that ended can still collide a frame it overlapped."""
+        trace = TraceLog()
+        medium = make_medium(sim, trace=trace)
+        a = Radio(medium, 1, (0, 0))
+        b = Radio(medium, 2, (20, 0))
+        victim = Radio(medium, 3, (10, 0))
+        victim.set_listening()
+        short_air = Frame("s", 10, a.channel, 1).airtime
+        # Long frame starts first; a short frame overlaps its head and
+        # ends (and is delivered) long before the long frame does.
+        a.transmit("long", 200)
+        sim.schedule(short_air / 4, lambda: b.transmit("short", 10))
+        sim.run()
+        # Both directions of the overlap must be arbitrated: the long
+        # frame's delivery sees the short frame even though it expired.
+        assert trace.count("radio.collision") == 2

@@ -212,3 +212,75 @@ class TestExponentialBackoff:
 
         with pytest.raises(ValueError):
             exponential_backoff(random.Random(1), -1, base=1.0)
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator(seed=1)
+        handles = [sim.schedule(10.0 + i, lambda: None) for i in range(500)]
+        for handle in handles[:400]:
+            handle.cancel()
+        assert sim.pending_events == 100
+        # The next schedule sees a majority-dead heap and compacts it.
+        sim.schedule(1.0, lambda: None)
+        assert sim._compactions >= 1
+        assert len(sim._heap) == 101
+        assert sim.pending_events == 101
+
+    def test_compaction_preserves_execution_order(self):
+        def run(compact: bool):
+            sim = Simulator(seed=1)
+            out = []
+            keep = []
+            for i in range(300):
+                handle = sim.schedule(1.0 + 0.01 * i, lambda i=i: out.append(i))
+                if i % 3:
+                    handle.cancel()
+                else:
+                    keep.append(i)
+            if compact:
+                sim._compact()
+            sim.run()
+            return out, keep
+
+        compacted, keep = run(compact=True)
+        lazy, _ = run(compact=False)
+        assert compacted == lazy == keep
+
+    def test_cancel_counting_is_exact_across_pop_paths(self):
+        sim = Simulator(seed=1)
+        a = sim.schedule(1.0, lambda: None)
+        b = sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        a.cancel()
+        a.cancel()  # idempotent: must not double-count
+        assert sim.pending_events == 2
+        sim.step()  # pops cancelled a, then fires b
+        assert sim.pending_events == 1
+        b.cancel()  # already fired: must not count
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancellation_churn_stays_deterministic(self):
+        """Timer-heavy cancel/reschedule load: same seed, same trace."""
+
+        def run():
+            sim = Simulator(seed=42)
+            fired = []
+            decoy = [None]
+
+            def tick(n=[0]):
+                n[0] += 1
+                fired.append((round(sim.now, 6), n[0]))
+                if decoy[0] is not None:
+                    decoy[0].cancel()
+                decoy[0] = sim.schedule(50.0, lambda: fired.append("decoy"))
+                if n[0] < 400:
+                    sim.schedule(0.25 + sim.rng.random() * 0.01, tick)
+
+            sim.schedule(0.1, tick)
+            sim.run(until=2000.0)
+            return fired
+
+        assert run() == run()

@@ -88,3 +88,32 @@ class TestTraceLog:
         log.clear()
         assert len(log) == 0
         assert log.count("a") == 0
+
+
+class TestEmitFastPath:
+    def test_disabled_unwatched_emit_still_counts(self):
+        log = TraceLog(enabled=False)
+        log.emit(1.0, "mac.tx", node=3, size=10)
+        log.emit(2.0, "mac.tx", node=4, size=20)
+        assert log.count("mac.tx") == 2
+        assert len(log) == 0
+
+    def test_disabled_log_still_notifies_subscribers(self):
+        log = TraceLog(enabled=False)
+        seen = []
+        log.subscribe("mac.tx", lambda r: seen.append((r.time, r.data["size"])))
+        log.emit(1.0, "mac.tx", node=3, size=10)
+        log.emit(2.0, "other", node=3)  # unwatched: fast path
+        assert seen == [(1.0, 10)]
+        assert log.count("other") == 1
+
+    def test_fully_unsubscribed_category_takes_fast_path(self):
+        # An emptied subscriber list must not force record construction
+        # (and must not crash the guard).
+        log = TraceLog(enabled=False)
+        seen = []
+        unsubscribe = log.subscribe("alarm", lambda r: seen.append(r))
+        unsubscribe()
+        log.emit(1.0, "alarm")
+        assert seen == []
+        assert log.count("alarm") == 1
