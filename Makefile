@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check-invariants sweep bench bench-perf demo
+.PHONY: test check-invariants sweep bench bench-perf report demo
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -35,6 +35,14 @@ bench:
 BENCH_JOBS ?= 0
 bench-perf:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_core.py --jobs $(BENCH_JOBS)
+
+# The observability dashboard: runs an instrumented demo deployment and
+# prints delivery metrics, latency percentiles, duty cycles, profiler
+# hot spots, and one reconstructed packet-lifecycle span tree.
+# EXPORT=dir additionally writes spans.jsonl/metrics.csv/trace.jsonl.
+EXPORT ?=
+report:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report $(if $(EXPORT),--export $(EXPORT))
 
 demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro

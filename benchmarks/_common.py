@@ -12,11 +12,27 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.core.experiment import Sweep
+from repro.core.experiment import Sweep, Trial
 from repro.core.report import ascii_table, write_csv
 from repro.parallel import TrialExecutor
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def assert_trial_invariants(trial: Trial) -> None:
+    """``on_trial`` observer failing fast on in-run invariant breaches.
+
+    Scenarios that run under checking report an ``invariant_violations``
+    metric; this turns a nonzero count into an immediate failure naming
+    the exact (parameter, seed) trial to re-run — instead of a silently
+    averaged-away column.  Scenarios without the metric pass through.
+    """
+    count = trial.metrics.get("invariant_violations", 0)
+    if count:
+        raise AssertionError(
+            f"trial {trial.params} seed={trial.seed}: "
+            f"{count:.0f} invariant violation(s); rerun with this seed"
+        )
 
 
 def trial_jobs(default: int = 1) -> int:
@@ -42,10 +58,20 @@ def run_trials(fn: Callable[..., Any],
 
 def run_sweep(parameter: str, values: Sequence[Any],
               scenario: Callable[[Any, int], Dict[str, float]],
-              repetitions: int = 3, base_seed: int = 1) -> Sweep:
-    """A :class:`Sweep` honouring ``REPRO_BENCH_JOBS``."""
+              repetitions: int = 3, base_seed: int = 1,
+              on_trial: Optional[Callable[[Trial], None]] = None) -> Sweep:
+    """A :class:`Sweep` honouring ``REPRO_BENCH_JOBS``.
+
+    ``on_trial`` observes each completed trial in trial order (see
+    :meth:`Sweep.run`); with ``REPRO_BENCH_CHECK=1`` set and no explicit
+    observer, :func:`assert_trial_invariants` is installed so checking
+    scenarios fail on the first violating trial.
+    """
+    if on_trial is None and os.environ.get("REPRO_BENCH_CHECK") == "1":
+        on_trial = assert_trial_invariants
     return Sweep(parameter).run(values, scenario, repetitions=repetitions,
-                                base_seed=base_seed, jobs=trial_jobs())
+                                base_seed=base_seed, jobs=trial_jobs(),
+                                on_trial=on_trial)
 
 
 def publish(

@@ -12,7 +12,7 @@ piggyback on data-plane feedback.  The fail-threshold row pair is the
 ablation DESIGN.md calls out.
 """
 
-from benchmarks._common import once, publish
+from benchmarks._common import once, publish, run_trials
 from repro.core.metrics import percentile
 from repro.core.system import IIoTSystem, SystemConfig
 from repro.deployment.topology import grid_topology
@@ -57,27 +57,28 @@ def _run(rnfd_enabled, seed, probe_period=10.0, fail_threshold=3):
     }
 
 
+#: (label, _run args) per table row; rows are independent trials, so
+#: they fan out under REPRO_BENCH_JOBS.
+_CONFIGS = (
+    ("RNFD (probe 10s, k=3)", (True, 71, 10.0, 3)),
+    ("RNFD (probe 30s, k=3)", (True, 71, 30.0, 3)),
+    ("RNFD (probe 10s, k=6)", (True, 71, 10.0, 6)),
+    ("baseline: DIO staleness", (False, 71)),
+)
+
+
 def run_e5():
-    rows = []
-    for label, enabled, probe, threshold in (
-        ("RNFD (probe 10s, k=3)", True, 10.0, 3),
-        ("RNFD (probe 30s, k=3)", True, 30.0, 3),
-        ("RNFD (probe 10s, k=6)", True, 10.0, 6),
-        ("baseline: DIO staleness", False, 0.0, 0),
-    ):
-        if enabled:
-            result = _run(True, seed=71, probe_period=probe,
-                          fail_threshold=threshold)
-        else:
-            result = _run(False, seed=71)
-        rows.append({
+    results = run_trials(_run, [args for _, args in _CONFIGS])
+    return [
+        {
             "detector": label,
             "nodes aware": result["aware"],
             "t50 [s]": result["t50"],
             "t90 [s]": result["t90"],
             "t100 [s]": result["t100"],
-        })
-    return rows
+        }
+        for (label, _), result in zip(_CONFIGS, results)
+    ]
 
 
 def bench_e5_rnfd(benchmark):

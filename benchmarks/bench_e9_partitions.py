@@ -16,7 +16,7 @@ node writes its zone setpoint once per minute; we report operation
 availability during the partition and replica convergence after heal.
 """
 
-from benchmarks._common import once, publish
+from benchmarks._common import once, publish, run_trials
 from repro.core.system import IIoTSystem
 from repro.crdt.maps import LWWMap
 from repro.crdt.replication import AntiEntropyConfig, CrdtReplica, NetworkReplicator
@@ -106,8 +106,13 @@ def _run_crdt(seed):
     }
 
 
+def _trial(design, seed):
+    """Module-level dispatcher so the designs parallelize as trials."""
+    return _run_cp(seed) if design == "cp" else _run_crdt(seed)
+
+
 def run_e9():
-    return [_run_cp(seed=111), _run_crdt(seed=111)]
+    return run_trials(_trial, [("cp", 111), ("crdt", 111)])
 
 
 def bench_e9_partitions(benchmark):
@@ -161,10 +166,10 @@ def _crdt_convergence_after_heal(period_s, seed):
 
 def bench_e9_anti_entropy_ablation(benchmark):
     """DESIGN.md ablation: gossip period vs post-heal staleness."""
-    rows = once(benchmark, lambda: [
-        _crdt_convergence_after_heal(period, seed=112)
-        for period in (10.0, 30.0, 90.0)
-    ])
+    rows = once(benchmark, lambda: run_trials(
+        _crdt_convergence_after_heal,
+        [(period, 112) for period in (10.0, 30.0, 90.0)],
+    ))
     publish("e9_anti_entropy_ablation",
             "E9b (ablation): CRDT anti-entropy period vs convergence "
             "delay after a partition heals", rows)

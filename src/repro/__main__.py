@@ -63,6 +63,10 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "report":
+        # Imported lazily: the dashboard pulls in repro.core.
+        from repro.obs.report import report_main
+        return report_main(argv[1:])
     print(f"repro {__version__} — 'A Distributed Systems Perspective on "
           f"Industrial IoT' (ICDCS 2018), executable\n")
 
@@ -103,6 +107,8 @@ def main(argv=None) -> int:
           "(13 experiments; see EXPERIMENTS.md)")
     print("Invariant sweep:    python -m repro sweep  "
           "(fault scenarios under runtime checking)")
+    print("Observability:      python -m repro report  "
+          "(metrics, packet lifecycles, profiler)")
     return 0
 
 

@@ -41,6 +41,9 @@ class ReproBundle:
     seed: int
     violations: List[Violation]
     trace_tail: List[TraceRecord] = field(default_factory=list)
+    #: Rendered packet-lifecycle span trees (repro.obs) overlapping the
+    #: violation window — empty unless the scenario ran with spans on.
+    span_trees: List[str] = field(default_factory=list)
 
     def summary(self, max_violations: int = 10, max_trace: int = 20) -> str:
         """Human-readable repro recipe."""
@@ -60,6 +63,12 @@ class ReproBundle:
                     f"    t={record.time:.3f} {record.category}"
                     f" node={record.node} {record.data}"
                 )
+        if self.span_trees:
+            lines.append(f"  packet lifecycles in the violation window "
+                         f"({len(self.span_trees)} trace(s)):")
+            for tree in self.span_trees:
+                for tree_line in tree.splitlines():
+                    lines.append(f"    {tree_line}")
         lines.append(f"  repro: rerun scenario {self.scenario!r} "
                      f"with seed={self.seed}")
         return "\n".join(lines)
@@ -92,6 +101,9 @@ class SeedSweepRunner:
         repro bundle when a run fails.
     """
 
+    #: How many rendered span trees a repro bundle carries at most.
+    MAX_BUNDLE_TRACES = 3
+
     def __init__(self, name: str, scenario: Scenario,
                  trace_window_s: float = 120.0) -> None:
         self.name = name
@@ -111,8 +123,20 @@ class SeedSweepRunner:
                 violations[0].time,
             )
             tail = [r for r in suite.trace.records if r.time >= window_start]
-            bundle = ReproBundle(self.name, seed, violations, tail)
+            span_trees = self._span_trees(suite, window_start)
+            bundle = ReproBundle(self.name, seed, violations, tail,
+                                 span_trees=span_trees)
         return SweepOutcome(seed=seed, violations=violations, bundle=bundle)
+
+    def _span_trees(self, suite: CheckerSuite, window_start: float) -> List[str]:
+        """Rendered lifecycle trees overlapping the violation window,
+        when the scenario ran with span tracing attached."""
+        obs = getattr(suite.trace, "obs", None)
+        if obs is None or obs.spans is None:
+            return []
+        trace_ids = obs.spans.traces_overlapping(window_start, suite.sim.now)
+        return [obs.spans.render(tid)
+                for tid in trace_ids[-self.MAX_BUNDLE_TRACES:]]
 
     def run(self, seeds: Sequence[int], jobs: int = 1) -> List[SweepOutcome]:
         """Run every seed; ``jobs`` > 1 fans the runs out over a process

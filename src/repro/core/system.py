@@ -42,6 +42,10 @@ class SystemConfig:
     #: Off by default so benchmarks pay nothing; checkers are passive
     #: observers, so enabling them does not change simulation outcomes.
     invariant_checking: bool = False
+    #: Attach the observability layer (repro.obs): metrics registry +
+    #: packet-lifecycle span tracing.  Off by default; like checking it
+    #: observes without perturbing event order or RNG state.
+    observability: bool = False
 
 
 class TimeSeriesStore:
@@ -90,6 +94,12 @@ class IIoTSystem:
         self.storage = TimeSeriesStore()
         self._gateway: Optional[Gateway] = None
         self._activated: set = set()
+        self.obs = None
+        if config.observability:
+            # Imported lazily, mirroring the checking import below.
+            from repro.obs import Observability
+            self.obs = Observability()
+            self.obs.attach(trace)
         self._build_nodes()
         self.checkers = None
         if config.invariant_checking:

@@ -23,6 +23,8 @@ class PendingRequest:
     observe_callback: Optional[Callable[[CoapMessage], None]] = None
     timer: Optional[Timer] = None
     responded: bool = False
+    #: Root ``coap.request`` span context (repro.obs); None untraced.
+    ctx: Any = None
 
 
 class CoapClient:
@@ -52,6 +54,22 @@ class CoapClient:
         transport.on_message = chained
 
     # ------------------------------------------------------------------
+    def _open_span(self, dest: int, method: str, path: str) -> Any:
+        """Root span for one request's end-to-end journey (repro.obs)."""
+        obs = self.trace.obs
+        if obs is None or obs.spans is None:
+            return None
+        obs.registry.inc("coap.request", node=self.node_id, method=method)
+        return obs.spans.start(None, "coap.request", node=self.node_id,
+                               t=self.sim.now, dest=dest, method=method,
+                               path=path)
+
+    def _close_span(self, pending: PendingRequest, ok: bool) -> None:
+        obs = self.trace.obs
+        if obs is not None and obs.spans is not None and pending.ctx is not None:
+            obs.spans.finish(pending.ctx, self.sim.now, ok=ok)
+
+    # ------------------------------------------------------------------
     def request(
         self,
         dest: int,
@@ -68,13 +86,15 @@ class CoapClient:
             code, path, payload, payload_bytes, confirmable=confirmable
         )
         pending = PendingRequest(dest=dest, message=message, callback=callback)
+        pending.ctx = self._open_span(dest, code.name, path)
         self._pending[message.token] = pending
         timeout = timeout_s if timeout_s is not None else self.DEFAULT_TIMEOUT_S
         pending.timer = Timer(self.sim, lambda: self._timeout(message.token))
         pending.timer.start(timeout)
         self.requests_sent += 1
         self.transport.send(
-            dest, message, on_fail=lambda: self._timeout(message.token)
+            dest, message, on_fail=lambda: self._timeout(message.token),
+            trace_ctx=pending.ctx,
         )
         return message
 
@@ -107,13 +127,15 @@ class CoapClient:
             callback=on_established if on_established is not None else (lambda r: None),
             observe_callback=on_notification,
         )
+        pending.ctx = self._open_span(dest, "OBSERVE", path)
         self._pending[message.token] = pending
         timeout = timeout_s if timeout_s is not None else self.DEFAULT_TIMEOUT_S
         pending.timer = Timer(self.sim, lambda: self._timeout(message.token))
         pending.timer.start(timeout)
         self.requests_sent += 1
         self.transport.send(dest, message,
-                            on_fail=lambda: self._timeout(message.token))
+                            on_fail=lambda: self._timeout(message.token),
+                            trace_ctx=pending.ctx)
         return message
 
     def cancel_observe(self, dest: int, path: str, token: int) -> None:
@@ -144,6 +166,10 @@ class CoapClient:
         self.responses_received += 1
         self.trace.emit(self.sim.now, "coap.response", node=self.node_id,
                         src=src, token=token)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("coap.response", node=self.node_id)
+        self._close_span(pending, ok=True)
         if pending.observe_callback is not None and response.code.is_success:
             # Observation established: future notifications reuse the token.
             self._observations[token] = pending
@@ -161,4 +187,8 @@ class CoapClient:
         if pending.timer is not None:
             pending.timer.cancel()
         self.timeouts += 1
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("coap.timeout", node=self.node_id)
+        self._close_span(pending, ok=False)
         pending.callback(None)

@@ -9,7 +9,7 @@ messages the upper layer answered separately or not at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.middleware.coap.codes import CoapCode, CoapType
 from repro.middleware.coap.message import CoapMessage
@@ -35,16 +35,20 @@ class TransportConfig:
 class _PendingCon:
     """Book-keeping for one unacknowledged confirmable message."""
 
-    __slots__ = ("message", "dest", "retries", "timer", "timeout", "on_fail")
+    __slots__ = ("message", "dest", "retries", "timer", "timeout", "on_fail",
+                 "ctx")
 
     def __init__(self, message: CoapMessage, dest: int, timeout: float,
-                 timer: Timer, on_fail: Optional[Callable[[], None]]) -> None:
+                 timer: Timer, on_fail: Optional[Callable[[], None]],
+                 ctx: Any = None) -> None:
         self.message = message
         self.dest = dest
         self.retries = 0
         self.timeout = timeout
         self.timer = timer
         self.on_fail = on_fail
+        #: Lifecycle span context (repro.obs) retransmissions inherit.
+        self.ctx = ctx
 
 
 class CoapTransport:
@@ -81,27 +85,39 @@ class CoapTransport:
         dest: int,
         message: CoapMessage,
         on_fail: Optional[Callable[[], None]] = None,
+        trace_ctx: Any = None,
     ) -> None:
-        """Send a message; CONs are tracked until ACKed."""
+        """Send a message; CONs are tracked until ACKed.
+
+        ``trace_ctx`` parents the lifecycle spans of every transmission
+        of this message, retransmissions included.
+        """
         self.messages_sent += 1
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("coap.sent", node=self.stack.node_id,
+                             mtype=message.mtype.name)
         if message.mtype is CoapType.CON:
             timeout = self.config.ack_timeout_s * self._rng.uniform(
                 1.0, self.config.ack_random_factor
             )
             key = (dest, message.message_id)
             timer = Timer(self.sim, lambda: self._retransmit(key))
-            pending = _PendingCon(message, dest, timeout, timer, on_fail)
+            pending = _PendingCon(message, dest, timeout, timer, on_fail,
+                                  ctx=trace_ctx)
             self._pending[key] = pending
             timer.start(timeout)
-        self._transmit(dest, message)
+        self._transmit(dest, message, trace_ctx)
 
-    def _transmit(self, dest: int, message: CoapMessage) -> None:
+    def _transmit(self, dest: int, message: CoapMessage,
+                  trace_ctx: Any = None) -> None:
         self.stack.send_datagram(
             dst=dest,
             dst_port=self.port,
             payload=message,
             payload_bytes=message.size_bytes,
             src_port=self.port,
+            trace_ctx=trace_ctx,
         )
 
     def _retransmit(self, key: Tuple[int, int]) -> None:
@@ -109,11 +125,17 @@ class CoapTransport:
         if pending is None:
             return
         pending.retries += 1
+        obs = self.trace.obs
         if pending.retries > self.config.max_retransmit:
             del self._pending[key]
             self.failures += 1
             self.trace.emit(self.sim.now, "coap.con_failed",
                             node=self.stack.node_id, dest=pending.dest)
+            if obs is not None:
+                obs.registry.inc("coap.con_failed", node=self.stack.node_id)
+                if obs.spans is not None and pending.ctx is not None:
+                    obs.spans.event(pending.ctx, "coap.con_failed",
+                                    node=self.stack.node_id, t=self.sim.now)
             if pending.on_fail is not None:
                 pending.on_fail()
             return
@@ -122,9 +144,15 @@ class CoapTransport:
                         node=self.stack.node_id, dest=pending.dest,
                         retries=pending.retries,
                         max_retransmit=self.config.max_retransmit)
+        if obs is not None:
+            obs.registry.inc("coap.retransmit", node=self.stack.node_id)
+            if obs.spans is not None and pending.ctx is not None:
+                obs.spans.event(pending.ctx, "coap.retransmit",
+                                node=self.stack.node_id, t=self.sim.now,
+                                retries=pending.retries)
         pending.timeout *= 2.0
         pending.timer.start(pending.timeout)
-        self._transmit(pending.dest, pending.message)
+        self._transmit(pending.dest, pending.message, pending.ctx)
 
     # ------------------------------------------------------------------
     # receiving

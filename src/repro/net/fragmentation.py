@@ -111,14 +111,18 @@ class FragmentationAdapter:
         payload: Any,
         size_bytes: int,
         done: Optional[Callable[[bool], None]] = None,
+        trace_ctx: Any = None,
     ) -> None:
         """Send, fragmenting when the payload exceeds the frame MTU.
 
         ``done(ok)`` fires once: True only if *every* fragment was
         acknowledged — losing one fragment loses the packet.
+        ``trace_ctx`` propagates the lifecycle span to the MAC jobs
+        (every fragment of one packet shares the parent span).
         """
         if not self.needs_fragmentation(size_bytes):
-            self.mac.send(dest, payload, size_bytes, done=done)
+            self.mac.send(dest, payload, size_bytes, done=done,
+                          trace_ctx=trace_ctx)
             return
         sizes = self.plan(size_bytes)
         tag = next(_tag_counter)

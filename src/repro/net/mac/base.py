@@ -45,6 +45,8 @@ class _TxJob:
     done: Optional[Callable[[bool], None]]
     seq: int
     auth_bytes: int = 0
+    #: ``mac.job`` span context (repro.obs); None when untraced.
+    ctx: Any = None
 
 
 class MacLayer(abc.ABC):
@@ -124,18 +126,31 @@ class MacLayer(abc.ABC):
         payload: Any,
         payload_bytes: int,
         done: Optional[Callable[[bool], None]] = None,
+        trace_ctx: Any = None,
     ) -> bool:
         """Enqueue a frame for ``dest`` (or :data:`BROADCAST`).
 
         Returns False (and calls ``done(False)``) when the queue is full
         or the MAC is stopped — queue overflow is a first-class failure
-        mode on constrained devices, not an exception.
+        mode on constrained devices, not an exception.  ``trace_ctx``
+        parents a ``mac.job`` span covering queueing and channel access.
         """
+        obs = self.trace.obs
+        node = self.radio.node_id
         if not self._started or len(self._queue) >= self.max_queue:
             self.stats.queue_drops += 1
+            if obs is not None:
+                obs.registry.inc("mac.queue_drop", node=node)
+                if obs.spans is not None and trace_ctx is not None:
+                    obs.spans.event(trace_ctx, "mac.queue_drop", node=node,
+                                    t=self.sim.now, dest=dest)
             if done is not None:
                 done(False)
             return False
+        ctx = None
+        if obs is not None and obs.spans is not None and trace_ctx is not None:
+            ctx = obs.spans.start(trace_ctx, "mac.job", node=node,
+                                  t=self.sim.now, dest=dest)
         job = _TxJob(
             dest=dest,
             payload=payload,
@@ -143,6 +158,7 @@ class MacLayer(abc.ABC):
             done=done,
             seq=next_seq(),
             auth_bytes=self.auth_overhead_bytes,
+            ctx=ctx,
         )
         self._queue.append(job)
         self.stats.enqueued += 1
@@ -169,6 +185,12 @@ class MacLayer(abc.ABC):
             self.stats.tx_success += 1
         else:
             self.stats.tx_failed += 1
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("mac.tx", node=self.radio.node_id,
+                             ok=success)
+            if obs.spans is not None and job.ctx is not None:
+                obs.spans.finish(job.ctx, self.sim.now, ok=success)
         self._busy = False
         if job.done is not None:
             job.done(success)
@@ -202,6 +224,7 @@ class MacLayer(abc.ABC):
             payload=job.payload,
             payload_bytes=job.payload_bytes,
             auth_bytes=job.auth_bytes,
+            trace_ctx=job.ctx,
         )
 
     # ------------------------------------------------------------------

@@ -50,6 +50,9 @@ class MacFrame:
     payload_bytes: int = 0
     #: Authentication tag bytes added by the security layer (0 = none).
     auth_bytes: int = 0
+    #: Span context of the MAC job carrying this frame (repro.obs);
+    #: None outside observability runs and for control/ACK frames.
+    trace_ctx: Any = None
 
     @property
     def size_bytes(self) -> int:
@@ -81,6 +84,9 @@ class NetPacket:
     sender_rank: int = 0
     created_at: float = 0.0
     packet_id: int = field(default_factory=lambda: next(_seq_counter))
+    #: Root span of this packet's lifecycle trace (repro.obs); stays on
+    #: the packet across hops so every layer attaches child spans to it.
+    trace_ctx: Any = None
 
     @property
     def size_bytes(self) -> int:
@@ -98,6 +104,9 @@ class Datagram:
     dst_port: int
     payload: Any
     payload_bytes: int
+    #: Lifecycle span context (repro.obs), visible to the receiving
+    #: application so request/response handlers can correlate.
+    trace_ctx: Any = None
 
     @property
     def size_bytes(self) -> int:

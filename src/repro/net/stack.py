@@ -222,11 +222,15 @@ class NetworkStack:
         payload_bytes: int,
         src_port: int = 1,
         done: Optional[Callable[[bool], None]] = None,
+        trace_ctx: Any = None,
     ) -> None:
         """Send a datagram to node ``dst``.
 
         ``done(ok)`` reports only the *local* outcome (first hop handed
         to the MAC); end-to-end delivery is observed at the receiver.
+        ``trace_ctx`` (repro.obs) makes the datagram's lifecycle span a
+        child of the caller's span; under an observability run a root
+        span is opened when the caller has none.
         """
         datagram = Datagram(
             src=self.node_id, src_port=src_port,
@@ -238,6 +242,17 @@ class NetworkStack:
             payload=datagram, payload_bytes=datagram.size_bytes,
             ttl=self.config.default_ttl, created_at=self.sim.now,
         )
+        obs = self.trace.obs
+        if obs is not None:
+            ctx = trace_ctx
+            if obs.spans is not None:
+                ctx = obs.spans.start(
+                    trace_ctx, "net.datagram", node=self.node_id,
+                    t=self.sim.now, dst=dst, port=dst_port,
+                )
+            packet.trace_ctx = ctx
+            datagram.trace_ctx = ctx
+            obs.registry.inc("net.sent", node=self.node_id)
         self.stats.datagrams_sent += 1
         self._route(packet, done)
 
@@ -286,16 +301,35 @@ class NetworkStack:
             if done is not None:
                 done(True)
             return
+        obs = self.trace.obs
         next_hop = self._next_hop(packet)
         if next_hop is None:
             self.stats.datagrams_dropped_no_route += 1
             self.trace.emit(self.sim.now, "net.no_route", node=self.node_id,
                             dst=packet.dst)
+            if obs is not None:
+                obs.registry.inc("net.dropped", node=self.node_id,
+                                 reason="no_route")
+                if obs.spans is not None and packet.trace_ctx is not None:
+                    obs.spans.finish(packet.trace_ctx, self.sim.now,
+                                     dropped="no_route")
             if done is not None:
                 done(False)
             return
 
+        # One forwarding-hop span per transmission attempt: the RPL
+        # next-hop decision, the MAC job beneath it, and the outcome.
+        hop_ctx = packet.trace_ctx
+        if (obs is not None and obs.spans is not None
+                and packet.trace_ctx is not None):
+            hop_ctx = obs.spans.start(
+                packet.trace_ctx, "net.hop", node=self.node_id,
+                t=self.sim.now, next_hop=next_hop, ttl=packet.ttl,
+            )
+
         def feedback(ok: bool) -> None:
+            if hop_ctx is not packet.trace_ctx and hop_ctx is not None:
+                obs.spans.finish(hop_ctx, self.sim.now, ok=ok)
             self.rpl.link_feedback(next_hop, ok)
             if ok:
                 if done is not None:
@@ -308,11 +342,18 @@ class NetworkStack:
             self.stats.datagrams_dropped_link += 1
             self.trace.emit(self.sim.now, "net.link_drop", node=self.node_id,
                             dst=packet.dst, hop=next_hop)
+            if obs is not None:
+                obs.registry.inc("net.dropped", node=self.node_id,
+                                 reason="link")
+                if obs.spans is not None and packet.trace_ctx is not None:
+                    obs.spans.finish(packet.trace_ctx, self.sim.now,
+                                     dropped="link")
             if done is not None:
                 done(False)
 
         packet.sender_rank = self.rpl.rank
-        self.frag.send(next_hop, packet, packet.size_bytes, done=feedback)
+        self.frag.send(next_hop, packet, packet.size_bytes, done=feedback,
+                       trace_ctx=hop_ctx)
 
     def _next_hop(self, packet: NetPacket) -> Optional[int]:
         # Downward source routing.
@@ -346,6 +387,15 @@ class NetworkStack:
                         src=packet.src, port=datagram.dst_port,
                         latency=latency, hops=packet.hops,
                         path=packet.source_route)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("net.delivered", node=self.node_id)
+            obs.registry.observe("net.latency_s", latency,
+                                 port=datagram.dst_port)
+            if obs.spans is not None and packet.trace_ctx is not None:
+                obs.spans.finish(packet.trace_ctx, self.sim.now,
+                                 delivered=True, latency=latency,
+                                 hops=packet.hops)
         if datagram.dst_port == RPL_DAO_PORT:
             if isinstance(datagram.payload, DaoMessage):
                 self.rpl.handle_dao(datagram.payload)
@@ -403,10 +453,19 @@ class NetworkStack:
             # Upward traffic must strictly decrease in rank.
             self.rpl.datapath_inconsistency()
         packet.ttl -= 1
+        obs = self.trace.obs
         if packet.ttl <= 0:
             self.stats.datagrams_dropped_ttl += 1
             self.trace.emit(self.sim.now, "net.ttl_drop", node=self.node_id,
                             dst=packet.dst)
+            if obs is not None:
+                obs.registry.inc("net.dropped", node=self.node_id,
+                                 reason="ttl")
+                if obs.spans is not None and packet.trace_ctx is not None:
+                    obs.spans.finish(packet.trace_ctx, self.sim.now,
+                                     dropped="ttl")
             return
         self.stats.datagrams_forwarded += 1
+        if obs is not None:
+            obs.registry.inc("net.forwarded", node=self.node_id)
         self._route(packet)

@@ -1,0 +1,76 @@
+"""repro.obs — the unified observability layer.
+
+Four parts (DESIGN.md, "Observability"):
+
+- :mod:`repro.obs.registry` — labeled counters/gauges/histograms with
+  deterministic snapshot/merge semantics;
+- :mod:`repro.obs.spans` — packet-lifecycle span tracing with
+  parent/child links, threaded through the stack as ``trace_ctx``;
+- :mod:`repro.obs.profiler` — opt-in wall-time attribution inside the
+  simulation kernel;
+- :mod:`repro.obs.export` — JSONL/CSV exporters, and
+  :mod:`repro.obs.report` — the ``python -m repro report`` dashboard.
+
+The :class:`Observability` bundle rides on the run's shared
+:class:`~repro.sim.trace.TraceLog` (``trace.obs``), which every layer
+already holds — so instrumentation needs no new constructor plumbing
+and costs one attribute check when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.export import (
+    export_run,
+    write_metrics_csv,
+    write_spans_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.profiler import SimProfiler
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsSnapshot, Registry
+from repro.obs.spans import Span, SpanContext, SpanNode, SpanTracer
+from repro.sim.trace import TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsSnapshot",
+    "Observability",
+    "Registry",
+    "SimProfiler",
+    "Span",
+    "SpanContext",
+    "SpanNode",
+    "SpanTracer",
+    "export_run",
+    "write_metrics_csv",
+    "write_spans_jsonl",
+    "write_trace_jsonl",
+]
+
+
+class Observability:
+    """One run's observability state: a registry plus (optionally) spans.
+
+    Attach to the run's trace log with :meth:`attach`; every layer then
+    finds it as ``self.trace.obs`` and instruments itself.  ``spans``
+    is None when span tracing is off — layers must check, which keeps
+    metric-only runs from paying span allocation.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None,
+                 spans: bool = True) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self.spans: Optional[SpanTracer] = SpanTracer() if spans else None
+
+    def attach(self, trace: TraceLog) -> "Observability":
+        """Make this bundle visible to every layer sharing ``trace``."""
+        trace.obs = self
+        return self
+
+    @staticmethod
+    def of(trace: TraceLog) -> Optional["Observability"]:
+        """The bundle attached to ``trace``, or None."""
+        return trace.obs

@@ -1,0 +1,117 @@
+"""The opt-in simulation profiler.
+
+Answers "where does simulation *wall time* go?" by timing every event
+callback the kernel dispatches and attributing it to a category:
+
+- bound protocol methods report as ``Class.method`` (``CsmaMac._cca``);
+- lightweight processes (:mod:`repro.sim.process`) report as
+  ``process.<name>`` so a sensor loop is distinguishable from the
+  generic ``Process._resume`` trampoline;
+- plain functions and lambdas report by qualified name.
+
+Installation replaces nothing: the kernel checks a single attribute per
+event (``Simulator._profiler``), so an uninstalled profiler costs one
+``is None`` branch and runs with zero allocation on the hot path.
+Profiling itself never touches simulated time or randomness, so a
+profiled run computes identical results to an unprofiled one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+class SimProfiler:
+    """Wall-time and event-count attribution per callback category."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        #: category -> [event_count, total_wall_seconds]
+        self.entries: Dict[str, List[float]] = {}
+        self._sim: Optional[Simulator] = None
+        if sim is not None:
+            self.install(sim)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def install(self, sim: Simulator) -> "SimProfiler":
+        if sim._profiler is not None:
+            raise RuntimeError("simulator already has a profiler installed")
+        sim._profiler = self
+        self._sim = sim
+        return self
+
+    def uninstall(self) -> None:
+        if self._sim is not None:
+            self._sim._profiler = None
+            self._sim = None
+
+    # ------------------------------------------------------------------
+    # the kernel-facing hook
+    # ------------------------------------------------------------------
+    def record(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` under timing (called by ``Simulator.step``)."""
+        category = self._category(callback)
+        start = time.perf_counter()
+        try:
+            callback()
+        finally:
+            wall = time.perf_counter() - start
+            entry = self.entries.get(category)
+            if entry is None:
+                self.entries[category] = [1, wall]
+            else:
+                entry[0] += 1
+                entry[1] += wall
+
+    @staticmethod
+    def _category(callback: Callable[[], None]) -> str:
+        owner = getattr(callback, "__self__", None)
+        # A Process._resume trampoline: attribute to the process itself.
+        if owner is not None and hasattr(owner, "_generator") and hasattr(owner, "name"):
+            name = owner.name or getattr(owner._generator, "__name__", "anonymous")
+            return f"process.{name}"
+        qualname = getattr(callback, "__qualname__", None)
+        return qualname if qualname else type(callback).__name__
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_wall_s(self) -> float:
+        return sum(entry[1] for entry in self.entries.values())
+
+    @property
+    def total_events(self) -> int:
+        return int(sum(entry[0] for entry in self.entries.values()))
+
+    def hotspots(self, limit: int = 10) -> List[Tuple[str, int, float, float]]:
+        """Top categories as ``(category, events, wall_s, fraction)``.
+
+        Sorted by wall time descending, then category name for a stable
+        order under ties.
+        """
+        total = self.total_wall_s or 1.0
+        ranked = sorted(
+            self.entries.items(), key=lambda item: (-item[1][1], item[0])
+        )
+        return [
+            (category, int(count), wall, wall / total)
+            for category, (count, wall) in ranked[:limit]
+        ]
+
+    def table(self, limit: int = 10) -> str:
+        """The hot-spot table, rendered."""
+        rows = self.hotspots(limit)
+        if not rows:
+            return "(no events profiled)"
+        width = max(len(category) for category, *_ in rows)
+        lines = [f"{'category'.ljust(width)}  {'events':>9}  "
+                 f"{'wall [s]':>9}  {'share':>6}"]
+        for category, events, wall, fraction in rows:
+            lines.append(f"{category.ljust(width)}  {events:>9,}  "
+                         f"{wall:>9.4f}  {fraction:>6.1%}")
+        return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""The labeled metrics registry.
+
+Three instrument kinds, all labeled:
+
+- :class:`Counter` — monotonically increasing occurrence counts
+  (``mac.tx``, ``net.dropped``);
+- :class:`Gauge` — last-written level samples (``radio.duty_cycle``);
+- :class:`Histogram` — full-resolution value series with exact
+  percentiles (``net.latency_s``).
+
+Instruments are addressed as ``registry.counter("mac.tx", node=3)``;
+the ``(name, sorted label items)`` pair identifies one time series.
+
+Determinism is the design center: :meth:`Registry.snapshot` captures a
+plain-data :class:`MetricsSnapshot` (picklable, so trial workers can
+return one per run), and :meth:`MetricsSnapshot.merge` combines
+snapshots *in the order given*.  Trial executors yield results in
+submission order regardless of worker scheduling, so merging per-trial
+snapshots produces byte-identical aggregates for every ``jobs`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import percentile
+
+#: One time-series key: metric name + sorted ``(label, value)`` items.
+SeriesKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+def _series_key(name: str, labels: Dict[str, Any]) -> SeriesKey:
+    return name, tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written level."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """An exact value series (simulation scale permits full resolution)."""
+
+    __slots__ = ("name", "labels", "values")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self.values, fraction)
+
+
+class Registry:
+    """Get-or-create instrument store for one run (or one trial)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[SeriesKey, Counter] = {}
+        self._gauges: Dict[SeriesKey, Gauge] = {}
+        self._histograms: Dict[SeriesKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _series_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _series_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = _series_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1])
+        return instrument
+
+    # ------------------------------------------------------------------
+    # one-shot conveniences (the instrumentation hot path)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set(self, name: str, value: float, **labels: Any) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def values(self, name: str) -> List[float]:
+        """Concatenated histogram observations over every label set,
+        in deterministic (sorted-key) order."""
+        out: List[float] = []
+        for key in sorted(self._histograms, key=repr):
+            if key[0] == name:
+                out.extend(self._histograms[key].values)
+        return out
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Freeze the registry into plain, picklable data."""
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={k: g.value for k, g in self._gauges.items()},
+            histograms={k: tuple(h.values) for k, h in self._histograms.items()},
+        )
+
+
+@dataclass
+class MetricsSnapshot:
+    """A frozen registry: plain dicts keyed by :data:`SeriesKey`.
+
+    Equality is value equality over every series, which is what the
+    ``jobs=1`` vs ``jobs=N`` identity tests compare.
+    """
+
+    counters: Dict[SeriesKey, float] = field(default_factory=dict)
+    gauges: Dict[SeriesKey, float] = field(default_factory=dict)
+    histograms: Dict[SeriesKey, Tuple[float, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, snapshots: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Combine snapshots *in the order given*.
+
+        Counters and histograms are commutative (sum / concatenate);
+        gauges are last-write-wins, which is why order matters and why
+        callers must merge in trial-index order (the order every
+        :class:`~repro.parallel.TrialExecutor` already yields).
+        """
+        merged = cls()
+        for snap in snapshots:
+            for key, value in snap.counters.items():
+                merged.counters[key] = merged.counters.get(key, 0.0) + value
+            for key, value in snap.gauges.items():
+                merged.gauges[key] = value
+            for key, values in snap.histograms.items():
+                merged.histograms[key] = merged.histograms.get(key, ()) + tuple(values)
+        return merged
+
+    # ------------------------------------------------------------------
+    def counter_total(self, name: str) -> float:
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def histogram_values(self, name: str) -> List[float]:
+        out: List[float] = []
+        for key in sorted(self.histograms, key=repr):
+            if key[0] == name:
+                out.extend(self.histograms[key])
+        return out
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat, deterministically ordered rows (the CSV export shape)."""
+        rows: List[Dict[str, Any]] = []
+
+        def label_str(items: Tuple[Tuple[str, Any], ...]) -> str:
+            return ",".join(f"{k}={v}" for k, v in items)
+
+        for key in sorted(self.counters, key=repr):
+            rows.append({"kind": "counter", "name": key[0],
+                         "labels": label_str(key[1]),
+                         "value": self.counters[key]})
+        for key in sorted(self.gauges, key=repr):
+            rows.append({"kind": "gauge", "name": key[0],
+                         "labels": label_str(key[1]),
+                         "value": self.gauges[key]})
+        for key in sorted(self.histograms, key=repr):
+            values = self.histograms[key]
+            rows.append({"kind": "histogram", "name": key[0],
+                         "labels": label_str(key[1]),
+                         "value": sum(values), "count": len(values),
+                         "p50": percentile(values, 0.5),
+                         "p95": percentile(values, 0.95)})
+        return rows

@@ -1,0 +1,206 @@
+"""``python -m repro report`` — the observability CLI dashboard.
+
+Runs a small instrumented deployment end to end (DODAG convergence,
+then CoAP request traffic from the border router to every leaf) with
+the full observability stack attached — metrics registry, span tracing,
+and the kernel profiler — and renders what it saw: delivery counters,
+latency percentiles, duty cycles, trace hot categories, wall-time hot
+spots, and one reconstructed packet-lifecycle tree.  ``--export DIR``
+additionally writes the JSONL/CSV artifacts for offline analysis.
+
+The module is imported lazily by :mod:`repro.__main__` (it pulls in
+:mod:`repro.core`, which :mod:`repro.obs` itself must not import).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.metrics import percentile
+from repro.core.system import IIoTSystem, SystemConfig
+from repro.deployment.topology import grid_topology
+from repro.devices.phenomena import DiurnalField
+from repro.middleware.coap import CoapClient, CoapServer, CoapTransport
+from repro.middleware.coap.resource import CallbackResource
+from repro.obs.export import export_run
+from repro.obs.profiler import SimProfiler
+
+
+@dataclass
+class ReportRun:
+    """Everything one instrumented demo run produced."""
+
+    system: IIoTSystem
+    profiler: Optional[SimProfiler]
+    requests_sent: int = 0
+    responses: int = 0
+    failures: int = 0
+    #: Trace ids of requests that were answered, in completion order.
+    answered_traces: List[int] = field(default_factory=list)
+
+
+def run_demo(
+    side: int = 3,
+    converge_s: float = 180.0,
+    traffic_s: float = 120.0,
+    seed: int = 2018,
+    profile: bool = True,
+) -> ReportRun:
+    """Build, converge, and exercise one fully instrumented system."""
+    config = SystemConfig(observability=True)
+    system = IIoTSystem.build(grid_topology(side), config=config, seed=seed)
+    profiler = SimProfiler(system.sim) if profile else None
+    system.add_field_sensors("temp", DiurnalField(mean=21.0))
+    system.start()
+    system.run(converge_s)
+
+    # Every non-root node serves its sensor reading; the root polls them.
+    for node in system.nodes.values():
+        if node.is_root:
+            continue
+        transport = CoapTransport(node.stack)
+        server = CoapServer(transport)
+        server.add_resource(CallbackResource(
+            "/temp", on_get=lambda n=node: (n.sensors["temp"].read(), 4)))
+    client = CoapClient(CoapTransport(system.root.stack))
+    run = ReportRun(system=system, profiler=profiler)
+
+    spans = system.obs.spans
+
+    def poll(node_id: int) -> None:
+        before = set(spans.trace_ids()) if spans is not None else set()
+
+        def on_response(response) -> None:
+            if response is None:
+                run.failures += 1
+                return
+            run.responses += 1
+            if spans is not None:
+                new = [t for t in spans.trace_ids() if t not in before]
+                if new:
+                    run.answered_traces.append(new[0])
+
+        client.get(node_id, "/temp", on_response)
+        run.requests_sent += 1
+
+    targets = sorted(nid for nid in system.nodes if nid != system.topology.root_id)
+    interval = max(1.0, traffic_s / (2 * max(1, len(targets))))
+    for index, node_id in enumerate(targets):
+        system.sim.schedule(index * interval, lambda n=node_id: poll(n))
+    system.run(traffic_s)
+
+    # Freeze end-of-run levels into the registry as gauges.
+    registry = system.obs.registry
+    for node_id in sorted(system.nodes):
+        node = system.nodes[node_id]
+        registry.set("radio.duty_cycle", node.stack.mac.duty_cycle(),
+                     node=node_id)
+    return run
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _section(title: str) -> str:
+    return f"\n{title}\n{'-' * len(title)}"
+
+
+def render_report(run: ReportRun, top: int = 8) -> str:
+    """The dashboard, as printable text."""
+    system = run.system
+    registry = system.obs.registry
+    trace = system.trace
+    lines: List[str] = []
+    lines.append(
+        f"observability report — {system.topology.size} nodes, "
+        f"t={system.sim.now:.0f}s, seed={system.sim.seed}, "
+        f"{system.joined_fraction():.0%} joined"
+    )
+
+    lines.append(_section("delivery"))
+    sent = registry.total("net.sent")
+    delivered = registry.total("net.delivered")
+    ratio = delivered / sent if sent else 0.0
+    lines.append(f"datagrams: sent={sent:.0f} delivered={delivered:.0f} "
+                 f"({ratio:.0%}) forwarded={registry.total('net.forwarded'):.0f} "
+                 f"dropped={registry.total('net.dropped'):.0f}")
+    lines.append(f"coap: requests={run.requests_sent} responses={run.responses} "
+                 f"failures={run.failures} "
+                 f"retransmits={registry.total('coap.retransmit'):.0f}")
+    lines.append(f"mac tx: {registry.total('mac.tx'):.0f} jobs, "
+                 f"queue drops={registry.total('mac.queue_drop'):.0f}")
+
+    latencies = registry.values("net.latency_s")
+    lines.append(_section("end-to-end latency"))
+    if latencies:
+        lines.append(
+            f"n={len(latencies)}  p50={percentile(latencies, 0.5):.4f}s  "
+            f"p95={percentile(latencies, 0.95):.4f}s  "
+            f"max={max(latencies):.4f}s"
+        )
+    else:
+        lines.append("(no delivered datagrams)")
+
+    duty = [system.nodes[nid].stack.mac.duty_cycle()
+            for nid in sorted(system.nodes)]
+    lines.append(_section("radio duty cycle"))
+    lines.append(f"min={min(duty):.1%}  mean={sum(duty) / len(duty):.1%}  "
+                 f"max={max(duty):.1%}")
+
+    lines.append(_section(f"top trace categories (of {len(trace.counters)})"))
+    ranked = sorted(trace.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    for category, count in ranked[:top]:
+        lines.append(f"{category:<28} {count:>9,}")
+
+    if run.profiler is not None:
+        lines.append(_section("simulation wall-time hot spots"))
+        lines.append(run.profiler.table(top))
+
+    spans = system.obs.spans
+    if spans is not None and run.answered_traces:
+        lines.append(_section("sample packet lifecycle (first answered GET)"))
+        lines.append(spans.render(run.answered_traces[0]))
+
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def report_main(argv) -> int:
+    """``python -m repro report`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Run an instrumented demo deployment and print the "
+                    "observability dashboard (metrics, spans, profiler).",
+    )
+    parser.add_argument("--side", type=int, default=3,
+                        help="grid side length (default: 3 -> 9 nodes)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="seconds of CoAP traffic after convergence")
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="simulation seed (default: 2018)")
+    parser.add_argument("--top", type=int, default=8,
+                        help="rows per ranked table (default: 8)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip kernel wall-time profiling")
+    parser.add_argument("--export", metavar="DIR",
+                        help="write spans.jsonl / metrics.csv / trace.jsonl "
+                             "into DIR")
+    args = parser.parse_args(argv)
+    if args.side < 2:
+        parser.error("--side must be >= 2")
+
+    run = run_demo(side=args.side, traffic_s=args.duration, seed=args.seed,
+                   profile=not args.no_profile)
+    print(render_report(run, top=args.top))
+    if args.export:
+        written: Dict[str, int] = export_run(
+            run.system.trace, args.export,
+            snapshot=run.system.obs.registry.snapshot())
+        print(_section("exported"))
+        for name in sorted(written):
+            print(f"{args.export}/{name}: {written[name]} records")
+    return 0

@@ -1,0 +1,209 @@
+"""Packet-lifecycle span tracing.
+
+A *span* is one timed step of a datagram's journey — a CoAP request, a
+network-layer send, one forwarding hop, one MAC job, one frame airtime —
+linked to its parent by id.  All spans of one journey share a trace id,
+so the whole path (app → CoAP → RPL forwarding hops → MAC
+attempts/retransmissions → radio airtime and per-receiver outcomes)
+reconstructs as a tree after the run.
+
+The :class:`SpanContext` handle is threaded through the stack as the
+``trace_ctx`` attribute of datagrams, packets, and MAC frames; every
+layer that sees a context attaches its own child spans to it.  Ids are
+allocated from per-tracer counters in event-execution order, so a seeded
+run produces identical span ids run over run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class SpanContext:
+    """A cheap immutable reference to one span inside one trace."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
+
+
+@dataclass
+class Span:
+    """One recorded step; ``end`` is None while the step is open."""
+
+    span_id: int
+    trace_id: int
+    parent_id: Optional[int]
+    category: str
+    node: Optional[int]
+    start: float
+    end: Optional[float] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+@dataclass
+class SpanNode:
+    """One node of a reconstructed span tree."""
+
+    span: Span
+    children: List["SpanNode"] = field(default_factory=list)
+
+    def depth(self) -> int:
+        """Number of levels in this subtree (a leaf is depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def categories(self) -> List[str]:
+        """Every category in the subtree, preorder."""
+        out = [self.span.category]
+        for child in self.children:
+            out.extend(child.categories())
+        return out
+
+
+class SpanTracer:
+    """Records spans and reconstructs per-trace trees."""
+
+    def __init__(self) -> None:
+        self.spans: Dict[int, Span] = {}
+        self._by_trace: Dict[int, List[int]] = {}
+        self._next_trace = 1
+        self._next_span = 1
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        parent: Optional[SpanContext],
+        category: str,
+        node: Optional[int],
+        t: float,
+        **data: Any,
+    ) -> SpanContext:
+        """Open a span.  ``parent=None`` starts a fresh trace."""
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span_id = self._next_span
+        self._next_span += 1
+        span = Span(span_id=span_id, trace_id=trace_id, parent_id=parent_id,
+                    category=category, node=node, start=t, data=data)
+        self.spans[span_id] = span
+        self._by_trace.setdefault(trace_id, []).append(span_id)
+        return SpanContext(trace_id, span_id)
+
+    def finish(self, ctx: SpanContext, t: float, **data: Any) -> None:
+        """Close a span (idempotent: the first end time wins)."""
+        span = self.spans.get(ctx.span_id)
+        if span is None:
+            return
+        if span.end is None:
+            span.end = t
+        if data:
+            span.data.update(data)
+
+    def event(
+        self,
+        parent: SpanContext,
+        category: str,
+        node: Optional[int],
+        t: float,
+        **data: Any,
+    ) -> SpanContext:
+        """A zero-duration child span (a point occurrence on the path)."""
+        ctx = self.start(parent, category, node, t, **data)
+        self.finish(ctx, t)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # reconstruction
+    # ------------------------------------------------------------------
+    def trace_ids(self) -> List[int]:
+        return sorted(self._by_trace)
+
+    def spans_for(self, trace_id: int) -> List[Span]:
+        """Spans of one trace in recording (event-execution) order."""
+        return [self.spans[sid] for sid in self._by_trace.get(trace_id, [])]
+
+    def tree(self, trace_id: int) -> Optional[SpanNode]:
+        """Rebuild one trace's span tree; None for unknown traces.
+
+        Children sort by ``(start, span_id)``; multiple roots (possible
+        if a root span was never recorded) are grafted under the
+        earliest one.
+        """
+        spans = self.spans_for(trace_id)
+        if not spans:
+            return None
+        nodes = {span.span_id: SpanNode(span) for span in spans}
+        roots: List[SpanNode] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: (n.span.start, n.span.span_id))
+        root = roots[0]
+        for orphan in roots[1:]:
+            root.children.append(orphan)
+        return root
+
+    def traces_overlapping(self, since: float, until: float) -> List[int]:
+        """Trace ids with at least one span inside ``[since, until]``."""
+        hits = []
+        for trace_id, span_ids in sorted(self._by_trace.items()):
+            for sid in span_ids:
+                span = self.spans[sid]
+                end = span.end if span.end is not None else span.start
+                if end >= since and span.start <= until:
+                    hits.append(trace_id)
+                    break
+        return hits
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, trace_id: int) -> str:
+        """Indented one-line-per-span rendering of a trace tree."""
+        root = self.tree(trace_id)
+        if root is None:
+            return f"trace {trace_id}: <no spans>"
+        lines = [f"trace {trace_id}:"]
+
+        def visit(node: SpanNode, depth: int) -> None:
+            span = node.span
+            where = f" node={span.node}" if span.node is not None else ""
+            extras = " ".join(f"{k}={v!r}" for k, v in sorted(span.data.items()))
+            open_mark = "" if span.end is not None else " [open]"
+            lines.append(
+                f"  {'  ' * depth}{span.category}{where} "
+                f"t={span.start:.4f}+{span.duration:.4f}s"
+                f"{open_mark}{(' ' + extras) if extras else ''}"
+            )
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(root, 0)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -76,6 +76,12 @@ class _Transmission:
     frame: Frame
     start: float
     end: float
+    #: ``radio.airtime`` span context (repro.obs); None when untraced.
+    span: Any = None
+    #: Link-layer addressee of a traced frame (duck-typed from the
+    #: payload's ``dst``); per-receiver outcome events are recorded
+    #: only at this node, so overhearing neighbors don't flood the tree.
+    addressee: Any = None
 
 
 class Radio:
@@ -330,6 +336,14 @@ class Medium:
             self._max_airtime = airtime
         self._prune_active(now)
         tx = _Transmission(radio=radio, frame=frame, start=now, end=now + airtime)
+        obs = self.trace.obs
+        if obs is not None and obs.spans is not None:
+            parent = getattr(frame.payload, "trace_ctx", None)
+            if parent is not None:
+                tx.span = obs.spans.start(parent, "radio.airtime",
+                                          node=radio.node_id, t=now,
+                                          size=frame.size_bytes)
+                tx.addressee = getattr(frame.payload, "dst", None)
         self._active_seq += 1
         heapq.heappush(self._active, (tx.end, self._active_seq, tx))
         radio._set_state(RadioState.TX)
@@ -344,6 +358,8 @@ class Medium:
             radio._set_state(RadioState.LISTEN)
             for receiver, rssi in receivers:
                 self._try_deliver(tx, receiver, rssi)
+            if tx.span is not None:
+                self.trace.obs.spans.finish(tx.span, self.sim.now)
             if done is not None:
                 done()
 
@@ -354,25 +370,45 @@ class Medium:
         frame = tx.frame
         if not receiver.enabled:
             return
+        # The span check comes first: tx.span is None in every untraced
+        # run, so traced delivery outcomes cost nothing otherwise.  Only
+        # the addressee's outcome explains the hop; overheard copies at
+        # third parties are not part of the packet's lifecycle.
+        spans = None
+        if tx.span is not None and (tx.addressee is None
+                                    or tx.addressee == receiver.node_id):
+            spans = self.trace.obs.spans
         if receiver.channel != frame.channel:
             return
         if receiver.state is not RadioState.LISTEN or receiver._listen_since > tx.start:
             # Slept through (part of) the frame — the duty-cycling cost.
             self.trace.emit(self.sim.now, "radio.miss", node=receiver.node_id,
                             sender=frame.sender)
+            if spans is not None:
+                spans.event(tx.span, "radio.miss", node=receiver.node_id,
+                            t=self.sim.now)
             return
         interferer_rssi = self._strongest_interferer(tx, receiver)
         if interferer_rssi is not None and rssi - interferer_rssi < CAPTURE_MARGIN_DB:
             self.trace.emit(self.sim.now, "radio.collision", node=receiver.node_id,
                             sender=frame.sender)
+            if spans is not None:
+                spans.event(tx.span, "radio.collision", node=receiver.node_id,
+                            t=self.sim.now)
             return
         if self._rng.random() > self.model.reception_probability(rssi):
             self.trace.emit(self.sim.now, "radio.drop", node=receiver.node_id,
                             sender=frame.sender)
+            if spans is not None:
+                spans.event(tx.span, "radio.drop", node=receiver.node_id,
+                            t=self.sim.now)
             return
         receiver.frames_received += 1
         self.trace.emit(self.sim.now, "radio.rx", node=receiver.node_id,
                         sender=frame.sender, size=frame.size_bytes)
+        if spans is not None:
+            spans.event(tx.span, "radio.rx", node=receiver.node_id,
+                        t=self.sim.now, rssi=round(rssi, 1))
         if receiver.on_receive is not None:
             receiver.on_receive(frame, rssi)
 

@@ -93,6 +93,9 @@ class Simulator:
         self._events_processed = 0
         self._cancelled_queued = 0
         self._compactions = 0
+        #: Opt-in wall-time profiler (:class:`repro.obs.SimProfiler`);
+        #: None costs a single branch per event.
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # time
@@ -171,7 +174,11 @@ class Simulator:
             self._now = time
             handle.fired = True
             self._events_processed += 1
-            handle.callback()
+            profiler = self._profiler
+            if profiler is None:
+                handle.callback()
+            else:
+                profiler.record(handle.callback)
             return True
         return False
 

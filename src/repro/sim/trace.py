@@ -46,6 +46,12 @@ class TraceLog:
         self.records: List[TraceRecord] = []
         self.counters: Dict[str, int] = {}
         self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        #: Per-category view of ``records``, maintained on emit so
+        #: category queries never rescan the whole log.
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        #: The run's observability bundle (:class:`repro.obs.Observability`),
+        #: attached externally; None keeps instrumentation disabled.
+        self.obs = None
 
     def emit(
         self,
@@ -70,6 +76,10 @@ class TraceLog:
         record = TraceRecord(time=time, category=category, node=node, data=data)
         if self.enabled:
             self.records.append(record)
+            bucket = self._by_category.get(category)
+            if bucket is None:
+                bucket = self._by_category[category] = []
+            bucket.append(record)
         if subscribers:
             # Iterate over a snapshot: a callback may unsubscribe
             # (itself or another subscriber) while the loop runs.
@@ -108,10 +118,19 @@ class TraceLog:
         since: float = float("-inf"),
         until: float = float("inf"),
     ) -> Iterator[TraceRecord]:
-        """Iterate stored records matching the filters."""
-        for record in self.records:
-            if category is not None and record.category != category:
-                continue
+        """Iterate stored records matching the filters.
+
+        Category queries walk the per-category index instead of the
+        whole log — checkers and metric collectors issue them per call,
+        so a full rescan would be O(records x queries).  Records within
+        one category are in emission order, the same order the full
+        scan yields them.
+        """
+        if category is not None:
+            candidates = self._by_category.get(category, ())
+        else:
+            candidates = self.records
+        for record in candidates:
             if node is not None and record.node != node:
                 continue
             if not (since <= record.time <= until):
@@ -122,6 +141,7 @@ class TraceLog:
         """Drop stored records and counters."""
         self.records.clear()
         self.counters.clear()
+        self._by_category.clear()
 
     def __len__(self) -> int:
         return len(self.records)

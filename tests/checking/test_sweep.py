@@ -52,6 +52,24 @@ def parity_scenario(seed: int) -> CheckerSuite:
     return suite
 
 
+def instrumented_parity_scenario(seed: int) -> CheckerSuite:
+    """parity_scenario with span tracing attached: one packet lifecycle
+    inside the violation window, one long before it."""
+    from repro.obs import Observability
+
+    sim, trace = Simulator(seed=seed), TraceLog()
+    obs = Observability().attach(trace)
+    suite = CheckerSuite(sim, trace)
+    suite.add(FailsOnEvenSeeds(seed))
+    old = obs.spans.start(None, "net.datagram", node=0, t=5.0, dst=1)
+    obs.spans.finish(old, 6.0, delivered=True)
+    recent = obs.spans.start(None, "net.datagram", node=0, t=145.0, dst=1)
+    obs.spans.event(recent, "radio.rx", node=1, t=145.2)
+    obs.spans.finish(recent, 145.2, delivered=True)
+    sim.run(until=200.0)
+    return suite
+
+
 class TestSeedSweepRunner:
     def test_clean_sweep_returns_all_outcomes(self):
         runner = SeedSweepRunner("clean", clean_scenario)
@@ -109,6 +127,39 @@ class TestSeedSweepRunner:
         assert "scenario='parity' seed=4" in message
         assert "even_seed" in message
         assert "repro" in message
+
+    def test_bundle_attaches_span_trees_from_the_violation_window(self):
+        runner = SeedSweepRunner("parity", instrumented_parity_scenario,
+                                 trace_window_s=120.0)
+        bundle = runner.run_seed(4).bundle
+        # Only the lifecycle overlapping [80, 200] is bundled; the t=5
+        # datagram predates the window.
+        assert len(bundle.span_trees) == 1
+        tree = bundle.span_trees[0]
+        assert "net.datagram" in tree
+        assert "radio.rx" in tree
+        assert "t=5.0000" not in tree
+        summary = bundle.summary()
+        assert "packet lifecycles in the violation window" in summary
+        assert "net.datagram" in summary
+
+    def test_bundle_span_trees_are_capped(self):
+        def busy_scenario(seed: int) -> CheckerSuite:
+            suite = instrumented_parity_scenario(seed)
+            spans = suite.trace.obs.spans
+            for i in range(6):
+                ctx = spans.start(None, "net.datagram", node=i, t=150.0 + i)
+                spans.finish(ctx, 151.0 + i)
+            return suite
+
+        bundle = SeedSweepRunner("busy", busy_scenario).run_seed(4).bundle
+        assert len(bundle.span_trees) == SeedSweepRunner.MAX_BUNDLE_TRACES
+
+    def test_uninstrumented_scenario_bundles_no_trees(self):
+        runner = SeedSweepRunner("parity", parity_scenario)
+        bundle = runner.run_seed(4).bundle
+        assert bundle.span_trees == []
+        assert "packet lifecycles" not in bundle.summary()
 
     def test_summary_truncates_long_listings(self):
         suite = clean_scenario(1)

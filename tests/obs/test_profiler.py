@@ -1,0 +1,110 @@
+"""SimProfiler: installation contract, category attribution, and the
+profiled-equals-unprofiled guarantee."""
+
+import pytest
+
+from repro.obs.profiler import SimProfiler
+from repro.sim.kernel import Simulator
+from repro.sim.process import sleep, spawn
+
+
+class TestLifecycle:
+    def test_install_hooks_the_kernel(self):
+        sim = Simulator(seed=1)
+        profiler = SimProfiler(sim)
+        assert sim._profiler is profiler
+        profiler.uninstall()
+        assert sim._profiler is None
+
+    def test_double_install_is_rejected(self):
+        sim = Simulator(seed=1)
+        SimProfiler(sim)
+        with pytest.raises(RuntimeError):
+            SimProfiler(sim)
+
+    def test_uninstall_without_install_is_a_noop(self):
+        SimProfiler().uninstall()
+
+    def test_uninstalled_profiler_sees_nothing(self):
+        sim = Simulator(seed=1)
+        profiler = SimProfiler(sim)
+        profiler.uninstall()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert profiler.total_events == 0
+
+
+class TestAttribution:
+    def test_counts_every_dispatched_event(self):
+        sim = Simulator(seed=1)
+        profiler = SimProfiler(sim)
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert profiler.total_events == sim.events_processed == 5
+        assert profiler.total_wall_s > 0.0
+
+    def test_bound_methods_report_as_class_dot_method(self):
+        class Widget:
+            def poke(self) -> None:
+                pass
+
+        sim = Simulator(seed=1)
+        profiler = SimProfiler(sim)
+        sim.schedule(1.0, Widget().poke)
+        sim.run()
+        categories = list(profiler.entries)
+        assert any(c.endswith("Widget.poke") for c in categories)
+
+    def test_processes_report_by_process_name(self):
+        def looper():
+            for _ in range(3):
+                yield sleep(1.0)
+
+        sim = Simulator(seed=1)
+        profiler = SimProfiler(sim)
+        spawn(sim, looper(), name="sensor-loop")
+        sim.run()
+        assert "process.sensor-loop" in profiler.entries
+        assert profiler.entries["process.sensor-loop"][0] >= 3
+
+    def test_hotspots_rank_by_wall_time_with_stable_ties(self):
+        profiler = SimProfiler()
+        profiler.entries = {"b": [2, 0.5], "a": [1, 0.5], "c": [9, 2.0]}
+        ranked = [category for category, *_ in profiler.hotspots()]
+        assert ranked == ["c", "a", "b"]
+        fractions = [fraction for *_, fraction in profiler.hotspots()]
+        assert abs(sum(fractions) - 1.0) < 1e-9
+
+    def test_table_renders_header_and_rows(self):
+        profiler = SimProfiler()
+        profiler.entries = {"kernel.tick": [4, 0.25]}
+        table = profiler.table()
+        assert "category" in table.splitlines()[0]
+        assert "kernel.tick" in table
+        assert SimProfiler().table() == "(no events profiled)"
+
+
+class TestTransparency:
+    def test_profiled_run_computes_identical_results(self):
+        def run(profile: bool):
+            sim = Simulator(seed=42)
+            values = []
+            rng = sim.substream("jitter")
+            profiler = SimProfiler(sim) if profile else None
+
+            def tick() -> None:
+                values.append(round(rng.random(), 9))
+                if len(values) < 50:
+                    sim.schedule(1.0 + rng.random(), tick)
+
+            sim.schedule(1.0, tick)
+            sim.run()
+            return values, sim.now, sim.events_processed, profiler
+
+        plain_values, plain_now, plain_events, _ = run(profile=False)
+        prof_values, prof_now, prof_events, profiler = run(profile=True)
+        assert prof_values == plain_values
+        assert prof_now == plain_now
+        assert prof_events == plain_events
+        assert profiler.total_events == prof_events

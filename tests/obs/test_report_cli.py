@@ -1,0 +1,70 @@
+"""The ``python -m repro report`` dashboard, end to end (small grid)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs.report import render_report, report_main, run_demo
+
+
+@pytest.fixture(scope="module")
+def demo_run():
+    """One shared small instrumented run (the expensive part)."""
+    return run_demo(side=2, converge_s=180.0, traffic_s=60.0, seed=5)
+
+
+class TestRunDemo:
+    def test_traffic_flows_and_is_answered(self, demo_run):
+        assert demo_run.requests_sent == 3  # every non-root node polled
+        assert demo_run.responses >= 1
+        assert demo_run.answered_traces  # span trees captured per answer
+
+    def test_observability_is_attached_everywhere(self, demo_run):
+        system = demo_run.system
+        assert system.obs is system.trace.obs
+        assert system.obs.registry.total("net.delivered") >= 1
+        assert len(system.obs.spans) > 0
+        assert demo_run.profiler.total_events == system.sim.events_processed
+
+    def test_duty_cycle_gauges_frozen_per_node(self, demo_run):
+        registry = demo_run.system.obs.registry
+        gauges = [registry.gauge("radio.duty_cycle", node=nid).value
+                  for nid in demo_run.system.nodes]
+        assert len(gauges) == 4
+        assert all(0.0 <= value <= 1.0 for value in gauges)
+
+
+class TestRender:
+    def test_report_contains_every_section(self, demo_run):
+        text = render_report(demo_run)
+        for heading in ("delivery", "end-to-end latency", "radio duty cycle",
+                        "top trace categories", "wall-time hot spots",
+                        "sample packet lifecycle"):
+            assert heading in text
+        assert "coap.request" in text  # the rendered span tree
+
+    def test_top_limits_ranked_tables(self, demo_run):
+        assert len(render_report(demo_run, top=2).splitlines()) < \
+            len(render_report(demo_run, top=20).splitlines())
+
+
+class TestCli:
+    def test_cli_prints_dashboard_and_exports(self, tmp_path, capsys):
+        out_dir = tmp_path / "export"
+        assert report_main(["--side", "2", "--duration", "40",
+                            "--seed", "6", "--export", str(out_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "observability report" in text
+        assert "exported" in text
+        with open(out_dir / "metrics.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert any(row["name"] == "net.sent" for row in rows)
+        with open(out_dir / "spans.jsonl") as handle:
+            spans = [json.loads(line) for line in handle]
+        assert any(span["category"] == "coap.request" for span in spans)
+
+    def test_cli_rejects_degenerate_grids(self, capsys):
+        with pytest.raises(SystemExit):
+            report_main(["--side", "1"])
+        capsys.readouterr()

@@ -90,6 +90,54 @@ class TestTraceLog:
         assert log.count("a") == 0
 
 
+class TestCategoryIndex:
+    """The per-category index must be a pure view of ``records``: every
+    filtered query answers exactly what a full-log rescan would."""
+
+    def _brute_force(self, log, category, node=None,
+                     since=float("-inf"), until=float("inf")):
+        return [r for r in log.records
+                if r.category == category
+                and (node is None or r.node == node)
+                and since <= r.time <= until]
+
+    def _interleaved(self):
+        log = TraceLog()
+        for i in range(40):
+            log.emit(float(i), ("mac.tx", "net.sent", "rpl.dio")[i % 3],
+                     node=i % 4, seq=i)
+        return log
+
+    def test_indexed_query_equals_full_scan(self):
+        log = self._interleaved()
+        for category in ("mac.tx", "net.sent", "rpl.dio", "missing"):
+            assert list(log.query(category)) == self._brute_force(log, category)
+
+    def test_index_respects_node_and_window_filters(self):
+        log = self._interleaved()
+        assert list(log.query("mac.tx", node=0, since=5.0, until=30.0)) == \
+            self._brute_force(log, "mac.tx", node=0, since=5.0, until=30.0)
+
+    def test_index_preserves_emission_order(self):
+        log = self._interleaved()
+        times = [r.time for r in log.query("net.sent")]
+        assert times == sorted(times)
+        assert [r.data["seq"] % 3 for r in log.query("net.sent")] == \
+            [1] * len(times)
+
+    def test_clear_resets_the_index(self):
+        log = self._interleaved()
+        log.clear()
+        assert list(log.query("mac.tx")) == []
+        log.emit(1.0, "mac.tx", node=9)
+        assert [r.node for r in log.query("mac.tx")] == [9]
+
+    def test_disabled_log_indexes_nothing(self):
+        log = TraceLog(enabled=False)
+        log.emit(1.0, "mac.tx")
+        assert list(log.query("mac.tx")) == []
+
+
 class TestEmitFastPath:
     def test_disabled_unwatched_emit_still_counts(self):
         log = TraceLog(enabled=False)
