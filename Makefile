@@ -1,7 +1,8 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check-invariants sweep bench bench-perf report demo
+.PHONY: test check-invariants sweep bench bench-perf report demo \
+	diff-core diff-core-baseline
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -46,3 +47,24 @@ report:
 
 demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro
+
+# Metrics regression gate: re-runs the deterministic dashboard demo
+# (fixed seed, profiler off — its snapshot is byte-identical across
+# runs) and diffs the exported metrics against the committed baseline.
+# Any series moving more than DIFF_FAIL_ON (relative; default exact)
+# fails the target — the same net that caught the delivery regression
+# of the medium's heap rework. After an *intentional* behaviour change,
+# refresh with make diff-core-baseline and commit the new baseline.
+DIFF_FAIL_ON ?= 0.0
+DIFF_CORE_BASELINE := benchmarks/results/core_metrics.baseline.json
+DIFF_CORE_ARGS := --side 3 --duration 120 --no-profile
+diff-core:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report $(DIFF_CORE_ARGS) --export .diff-core >/dev/null
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro diff $(DIFF_CORE_BASELINE) .diff-core/metrics.json --fail-on $(DIFF_FAIL_ON)
+	rm -rf .diff-core
+
+diff-core-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report $(DIFF_CORE_ARGS) --export .diff-core >/dev/null
+	cp .diff-core/metrics.json $(DIFF_CORE_BASELINE)
+	rm -rf .diff-core
+	@echo "refreshed $(DIFF_CORE_BASELINE) — review and commit it"

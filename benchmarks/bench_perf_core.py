@@ -313,6 +313,33 @@ def bench_perf_core(benchmark) -> None:
           f"-> {BENCH_PATH}")
 
 
+def export_payload_metrics(payload: Dict[str, Any], path: str) -> str:
+    """Flatten the perf payload into a ``repro diff`` snapshot.
+
+    Every numeric leaf becomes a gauge ``perf_core.<section>.<key>``
+    (bools skipped — they are asserted, not diffed), so two runs can be
+    compared with ``python -m repro diff``.
+    """
+    from repro.obs.export import write_metrics_json
+    from repro.obs.registry import Registry
+
+    registry = Registry()
+
+    def walk(prefix: str, value: Any) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                walk(f"{prefix}.{key}", sub)
+        elif isinstance(value, bool):
+            return
+        elif isinstance(value, (int, float)):
+            registry.set(prefix, float(value))
+
+    for section in ("kernel", "medium", "sweep", "observability"):
+        walk(f"perf_core.{section}", payload[section])
+    write_metrics_json(registry.snapshot(), path)
+    return path
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -320,11 +347,17 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="workers for the parallel sweep leg "
                              "(default: all cores)")
+    parser.add_argument("--export-metrics", metavar="PATH", default=None,
+                        help="also write the payload as a repro-diff "
+                             "metrics snapshot (JSON)")
     args = parser.parse_args(argv)
     payload = run_perf_core(jobs=args.jobs)
     _assert_shape(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwrote {BENCH_PATH}")
+    if args.export_metrics:
+        export_payload_metrics(payload, args.export_metrics)
+        print(f"wrote {args.export_metrics}")
     return 0
 
 

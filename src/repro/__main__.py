@@ -67,6 +67,9 @@ def main(argv=None) -> int:
         # Imported lazily: the dashboard pulls in repro.core.
         from repro.obs.report import report_main
         return report_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from repro.obs.diff import diff_main
+        return diff_main(argv[1:])
     print(f"repro {__version__} — 'A Distributed Systems Perspective on "
           f"Industrial IoT' (ICDCS 2018), executable\n")
 
@@ -108,7 +111,9 @@ def main(argv=None) -> int:
     print("Invariant sweep:    python -m repro sweep  "
           "(fault scenarios under runtime checking)")
     print("Observability:      python -m repro report  "
-          "(metrics, packet lifecycles, profiler)")
+          "(metrics, node health, packet + control-plane lifecycles)")
+    print("Regression diff:    python -m repro diff A.json B.json "
+          "--fail-on 0.05  (compare exported metrics snapshots)")
     return 0
 
 

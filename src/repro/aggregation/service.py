@@ -139,6 +139,9 @@ class AggregationService:
     # dissemination
     # ------------------------------------------------------------------
     def _flood(self, announce: QueryAnnounce) -> None:
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("agg.announce", node=self.node.node_id)
         self.stack.send_local_broadcast(
             self.port, announce, announce.size_bytes
         )
@@ -148,7 +151,7 @@ class AggregationService:
         if isinstance(payload, QueryAnnounce):
             self._handle_announce(payload)
         elif isinstance(payload, PartialRecord):
-            self._handle_partial(payload)
+            self._handle_partial(payload, getattr(datagram, "trace_ctx", None))
 
     def _handle_announce(self, announce: QueryAnnounce) -> None:
         query = announce.query
@@ -227,9 +230,28 @@ class AggregationService:
         )
         self.records_sent += 1
         self.bytes_sent += record.size_bytes
-        self.stack.send_datagram(parent, self.port, record, record.size_bytes)
+        obs = self.trace.obs
+        ctx = None
+        done = None
+        if obs is not None:
+            obs.registry.inc("agg.partial", node=self.node.node_id)
+            if obs.spans is not None:
+                # One span per contributed partial; the datagram journey
+                # to the parent (and each fold along the way) nests
+                # beneath it.
+                ctx = obs.spans.start(
+                    None, "agg.partial", node=self.node.node_id,
+                    t=self.sim.now, epoch=epoch, count=count,
+                )
+                spans = obs.spans
 
-    def _handle_partial(self, record: PartialRecord) -> None:
+                def done(ok: bool, _ctx=ctx) -> None:
+                    spans.finish(_ctx, self.sim.now, ok=ok)
+
+        self.stack.send_datagram(parent, self.port, record, record.size_bytes,
+                                 done=done, trace_ctx=ctx)
+
+    def _handle_partial(self, record: PartialRecord, ctx: Any = None) -> None:
         query = self.queries.get(record.query_id)
         if query is None:
             return
@@ -241,6 +263,13 @@ class AggregationService:
         state, count = self._accumulators.get(key, (None, 0))
         merged = record.state if state is None else operator.merge(state, record.state)
         self._accumulators[key] = (merged, count + record.count)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("agg.fold", node=self.node.node_id)
+            if obs.spans is not None and ctx is not None:
+                obs.spans.event(ctx, "agg.fold", node=self.node.node_id,
+                                t=self.sim.now, epoch=epoch,
+                                count=count + record.count)
 
     # ------------------------------------------------------------------
     # root-side finalize
@@ -273,6 +302,21 @@ class AggregationService:
         self.results.append(result)
         self.trace.emit(self.sim.now, "agg.result", node=self.node.node_id,
                         epoch=epoch, value=result.value, count=count)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("agg.result", node=self.node.node_id)
+            obs.registry.observe("agg.contributions", count,
+                                 node=self.node.node_id)
+            if obs.spans is not None:
+                # The epoch span covers the whole collection window:
+                # opened retroactively at the epoch boundary, closed at
+                # finalize, with the answer and contribution count.
+                ctx = obs.spans.start(
+                    None, "agg.epoch", node=self.node.node_id,
+                    t=query.epoch_start(epoch), epoch=epoch,
+                )
+                obs.spans.finish(ctx, self.sim.now, value=result.value,
+                                 contributions=count)
         if self.on_result is not None:
             self.on_result(result)
 

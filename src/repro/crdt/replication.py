@@ -74,6 +74,10 @@ class NetworkReplicator:
         self.trace = trace if trace is not None else stack.trace
         self.gossips_sent = 0
         self.bytes_sent = 0
+        #: Sim time of the last local change (mutation or merge-in),
+        #: driving the convergence-lag histogram and the replica
+        #: staleness gauge of the NodeHealth table.
+        self.last_change_s = 0.0
         self._rng = stack.sim.substream(f"crdt.gossip.{stack.node_id}")
         self._timer = PeriodicTimer(
             stack.sim, self.config.period_s, self._gossip,
@@ -99,10 +103,15 @@ class NetworkReplicator:
 
     def notify_local_update(self) -> None:
         """Call after a local mutation to trigger a fast rumor round."""
+        self.last_change_s = self.sim.now
         if self._started and not self._rumor_timer.armed:
             self._rumor_timer.start(
                 self._rng.uniform(0.1, self.config.rumor_delay_s)
             )
+
+    def staleness(self, now: float) -> float:
+        """Seconds since this replica last changed (0 if never touched)."""
+        return max(0.0, now - self.last_change_s)
 
     # ------------------------------------------------------------------
     def _gossip(self) -> None:
@@ -112,13 +121,50 @@ class NetworkReplicator:
         size = state.size_bytes()
         self.gossips_sent += 1
         self.bytes_sent += size
-        self.stack.send_local_broadcast(self.config.port, state, size)
+        node = self.stack.node_id
+        ctx = None
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("crdt.gossip", node=node)
+            obs.registry.inc("crdt.gossip_bytes", size, node=node)
+            if obs.spans is not None:
+                # One anti-entropy round = one trace: the broadcast's
+                # fragments/MAC jobs and every receiver's merge outcome
+                # hang beneath it (the context rides on the datagram).
+                ctx = obs.spans.start(
+                    None, "crdt.anti_entropy", node=node, t=self.sim.now,
+                    round=self.gossips_sent, bytes=size,
+                )
+        self.stack.send_local_broadcast(self.config.port, state, size,
+                                        trace_ctx=ctx)
+        if ctx is not None:
+            obs.spans.finish(ctx, self.sim.now)
 
     def _on_datagram(self, datagram: Any) -> None:
         state = datagram.payload
         if not isinstance(state, StateCrdt):
             return
-        if self.replica.absorb(state):
+        changed = self.replica.absorb(state)
+        obs = self.trace.obs
+        if obs is not None:
+            node = self.stack.node_id
+            obs.registry.inc("crdt.merge", node=node, changed=changed)
+            if changed:
+                # Convergence lag: how long this replica sat on an older
+                # state before the merge that changed it arrived.
+                obs.registry.observe(
+                    "crdt.merge_lag_s", self.staleness(self.sim.now),
+                    node=node,
+                )
+            if obs.spans is not None:
+                sender_ctx = getattr(datagram, "trace_ctx", None)
+                if sender_ctx is not None:
+                    obs.spans.event(
+                        sender_ctx, "crdt.merge", node=self.stack.node_id,
+                        t=self.sim.now, changed=changed,
+                    )
+        if changed:
+            self.last_change_s = self.sim.now
             self.trace.emit(self.sim.now, "crdt.merge_changed",
                             node=self.stack.node_id, src=datagram.src)
             # Something new: spread it onward quickly.

@@ -117,8 +117,10 @@ class FragmentationAdapter:
 
         ``done(ok)`` fires once: True only if *every* fragment was
         acknowledged — losing one fragment loses the packet.
-        ``trace_ctx`` propagates the lifecycle span to the MAC jobs
-        (every fragment of one packet shares the parent span).
+        ``trace_ctx`` propagates the lifecycle span to the MAC jobs;
+        a fragmented send opens one ``net.fragment`` child span per
+        fragment beneath it, so the MAC/radio work of each fragment
+        reconstructs separately instead of collapsing into one hop.
         """
         if not self.needs_fragmentation(size_bytes):
             self.mac.send(dest, payload, size_bytes, done=done,
@@ -129,13 +131,18 @@ class FragmentationAdapter:
         self.packets_fragmented += 1
         outcome = {"pending": len(sizes), "failed": False}
 
-        def fragment_done(ok: bool) -> None:
+        def all_done(ok: bool) -> None:
             outcome["pending"] -= 1
             if not ok:
                 outcome["failed"] = True
             if outcome["pending"] == 0 and done is not None:
                 done(not outcome["failed"])
 
+        obs = self.trace.obs
+        spans = obs.spans if obs is not None else None
+        node_id = self.mac.radio.node_id
+        if obs is not None:
+            obs.registry.inc("frag.fragments", len(sizes), node=node_id)
         for index, chunk_bytes in enumerate(sizes):
             fragment = Fragment(
                 tag=tag, index=index, count=len(sizes),
@@ -143,9 +150,22 @@ class FragmentationAdapter:
                 payload=payload if index == 0 else None,
             )
             self.fragments_sent += 1
+            frag_ctx = trace_ctx
+            frag_done: Callable[[bool], None] = all_done
+            if spans is not None and trace_ctx is not None:
+                frag_ctx = spans.start(
+                    trace_ctx, "net.fragment", node=node_id, t=self.sim.now,
+                    tag=tag, index=index, of=len(sizes),
+                    bytes=fragment.size_bytes,
+                )
+
+                def frag_done(ok: bool, _ctx=frag_ctx) -> None:
+                    spans.finish(_ctx, self.sim.now, ok=ok)
+                    all_done(ok)
+
             self.mac.send(dest, fragment, fragment.size_bytes,
-                          done=fragment_done)
-        self.trace.emit(self.sim.now, "frag.sent", node=self.mac.radio.node_id,
+                          done=frag_done, trace_ctx=frag_ctx)
+        self.trace.emit(self.sim.now, "frag.sent", node=node_id,
                         tag=tag, fragments=len(sizes), bytes=size_bytes)
 
     # ------------------------------------------------------------------

@@ -46,13 +46,16 @@ class RplState(enum.Enum):
 class RplTransport(Protocol):
     """What the router needs from the surrounding stack."""
 
-    def broadcast_control(self, message: Any, size_bytes: int) -> None:
+    def broadcast_control(
+        self, message: Any, size_bytes: int, trace_ctx: Any = None
+    ) -> None:
         """Link-local broadcast of a control message."""
         ...
 
     def unicast_control(
         self, dest: int, message: Any, size_bytes: int,
         done: Optional[Callable[[bool], None]] = None,
+        trace_ctx: Any = None,
     ) -> None:
         """Link-local unicast (probes, DAO hop) with MAC feedback."""
         ...
@@ -137,10 +140,15 @@ class RplRouter:
         self.on_joined: Optional[Callable[[], None]] = None
         self.on_detached: Optional[Callable[[], None]] = None
         self.on_parent_change: Optional[Callable[[Optional[int]], None]] = None
-        #: Set by the stack: send a DAO through the data plane.
-        self.send_dao_upward: Optional[Callable[[DaoMessage, int], None]] = None
+        #: Set by the stack: send a DAO through the data plane.  The
+        #: third argument is an optional ``trace_ctx`` parenting the
+        #: DAO's datagram span (a parent switch threads its span through
+        #: the repair DAO it triggers).
+        self.send_dao_upward: Optional[Callable[..., None]] = None
         #: Consulted by RNFD to piggyback state onto DIOs.
         self.dio_option_providers: List[Callable[[], Dict[str, Any]]] = []
+        #: Open ``rpl.parent_switch`` span awaiting its repair DAO.
+        self._switch_ctx: Any = None
 
         self.trickle = TrickleTimer(
             sim,
@@ -149,6 +157,8 @@ class RplRouter:
             self.config.trickle_k,
             self._send_dio,
             rng=self._rng,
+            trace=self.trace,
+            node=node_id,
         )
         self._dao_timer = PeriodicTimer(
             sim, self.config.dao_period_s, self._send_dao,
@@ -218,7 +228,18 @@ class RplRouter:
             return
         dio = self._current_dio()
         self.dio_sent += 1
-        self.transport.broadcast_control(dio, dio.size_bytes)
+        ctx = None
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("rpl.dio", node=self.node_id)
+            if obs.spans is not None:
+                ctx = obs.spans.start(
+                    None, "rpl.dio", node=self.node_id, t=self.sim.now,
+                    rank=self.rank,
+                )
+        self.transport.broadcast_control(dio, dio.size_bytes, trace_ctx=ctx)
+        if ctx is not None:
+            obs.spans.finish(ctx, self.sim.now)
 
     def _poison(self) -> None:
         """Advertise INFINITE_RANK so descendants stop routing through us.
@@ -239,6 +260,9 @@ class RplRouter:
         )
         self.transport.broadcast_control(poison, poison.size_bytes)
         self.trace.emit(self.sim.now, "rpl.poison", node=self.node_id)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("rpl.poison", node=self.node_id)
 
     # ------------------------------------------------------------------
     # message handling (wired by the stack)
@@ -392,6 +416,10 @@ class RplRouter:
             significant = abs(current_rank - self.rank) >= 256
             self.rank = current_rank
             self._rank_floor = min(self._rank_floor, self.rank)
+            obs = self.trace.obs
+            if obs is not None:
+                obs.registry.inc("rpl.rank_change", node=self.node_id)
+                obs.registry.set("rpl.rank", self.rank, node=self.node_id)
             if significant:
                 self.trickle.reset()
 
@@ -419,16 +447,37 @@ class RplRouter:
         self.trickle.reset()
         if not self._dao_timer.running:
             self._dao_timer.start()
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.set("rpl.rank", self.rank, node=self.node_id)
+            obs.registry.set("rpl.parent", entry.node_id, node=self.node_id)
         if old_parent != entry.node_id:
             self.parent_changes += 1
             self.trace.emit(self.sim.now, "rpl.parent_change", node=self.node_id,
                             parent=entry.node_id, rank=self.rank)
+            if obs is not None:
+                obs.registry.inc("rpl.parent_change", node=self.node_id)
+                if obs.spans is not None:
+                    # One span per parent switch; it stays open until
+                    # the repair DAO is dispatched (or the switch is
+                    # superseded/aborted), so the DAO's datagram journey
+                    # nests beneath the routing decision that caused it.
+                    if self._switch_ctx is not None:
+                        obs.spans.finish(self._switch_ctx, self.sim.now,
+                                         superseded=True)
+                    self._switch_ctx = obs.spans.start(
+                        None, "rpl.parent_switch", node=self.node_id,
+                        t=self.sim.now, old=old_parent, new=entry.node_id,
+                        rank=self.rank,
+                    )
             self._schedule_dao_soon()
             if self.on_parent_change is not None:
                 self.on_parent_change(entry.node_id)
         if not was_joined:
             self.trace.emit(self.sim.now, "rpl.joined", node=self.node_id,
                             rank=self.rank, grounded=self.grounded)
+            if obs is not None:
+                obs.registry.inc("rpl.joined", node=self.node_id)
             if self.on_joined is not None:
                 self.on_joined()
 
@@ -453,9 +502,18 @@ class RplRouter:
             entry.rank = INFINITE_RANK
         self._dis_timer.start(self._rng.uniform(0.5, self.config.dis_period_s))
         self._arm_float_timer()
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.set("rpl.rank", self.rank, node=self.node_id)
+            obs.registry.set("rpl.parent", -1, node=self.node_id)
+            if obs.spans is not None and self._switch_ctx is not None:
+                obs.spans.finish(self._switch_ctx, self.sim.now, aborted=reason)
+                self._switch_ctx = None
         if was_attached:
             self.trace.emit(self.sim.now, "rpl.detached", node=self.node_id,
                             reason=reason)
+            if obs is not None:
+                obs.registry.inc("rpl.detach", node=self.node_id, reason=reason)
             if self.on_detached is not None:
                 self.on_detached()
         # A fresh look at the table: maybe another parent is available.
@@ -485,6 +543,9 @@ class RplRouter:
         if self.state is not RplState.DETACHED:
             return
         dis = DisMessage()
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("rpl.dis", node=self.node_id)
         self.transport.broadcast_control(dis, dis.size_bytes)
         self._dis_timer.start(
             self._rng.uniform(
@@ -544,8 +605,15 @@ class RplRouter:
             path_seq=self._path_seq,
         )
         self.dao_sent += 1
+        obs = self.trace.obs
+        ctx = self._switch_ctx
+        if obs is not None:
+            obs.registry.inc("rpl.dao", node=self.node_id)
         if self.send_dao_upward is not None:
-            self.send_dao_upward(dao, dao.SIZE_BYTES)
+            self.send_dao_upward(dao, dao.SIZE_BYTES, ctx)
+        if ctx is not None:
+            obs.spans.finish(ctx, self.sim.now, dao_seq=self._path_seq)
+            self._switch_ctx = None
 
     def route_to(self, dst: int, max_hops: int = 32) -> Optional[List[int]]:
         """Root only: source route to ``dst`` from the DAO table.

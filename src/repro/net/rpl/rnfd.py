@@ -130,6 +130,9 @@ class RnfdAgent:
         self._consecutive_failures = 0
         self._probe_seq = 0
         self._gossip_budget = 0
+        #: Open ``rnfd.verdict`` span: suspicion -> verdict/absolution.
+        #: Kept after finish() so late gossip rounds still parent to it.
+        self._verdict_ctx = None
         self._rng = sim.substream(f"rnfd.{router.node_id}")
         self._probe_timer = PeriodicTimer(
             sim, self.config.probe_period_s, self._probe_root,
@@ -203,6 +206,9 @@ class RnfdAgent:
 
     def _probe_done(self, success: bool) -> None:
         me = self.router.node_id
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("rnfd.probe", node=me, ok=success)
         if success:
             self._consecutive_failures = 0
             # Register as a live sentinel (on first success) or absolve
@@ -218,6 +224,9 @@ class RnfdAgent:
         if self._consecutive_failures >= self.config.fail_threshold:
             if self.cfrc.record(me, down=True):
                 self.trace.emit(self.sim.now, "rnfd.locally_down", node=me)
+                if obs is not None:
+                    obs.registry.inc("rnfd.locally_down", node=me)
+                self._ensure_verdict_span(role="sentinel")
                 self._mark_dirty()
                 self._reevaluate()
 
@@ -235,6 +244,9 @@ class RnfdAgent:
         if not isinstance(incoming, Cfrc):
             return
         if self.cfrc.merge(incoming):
+            obs = self.trace.obs
+            if obs is not None:
+                obs.registry.inc("rnfd.merge", node=self.router.node_id)
             self._mark_dirty()
             self.router.trickle.reset()  # spread news fast
             self._reevaluate()
@@ -256,22 +268,71 @@ class RnfdAgent:
         from repro.net.rpl.messages import RnfdGossip
 
         gossip = RnfdGossip(entries=dict(self.cfrc.entries))
-        self.router.transport.broadcast_control(gossip, gossip.size_bytes)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("rnfd.gossip", node=self.router.node_id)
+        self.router.transport.broadcast_control(
+            gossip, gossip.size_bytes, trace_ctx=self._verdict_ctx
+        )
 
     # ------------------------------------------------------------------
     # verdict
     # ------------------------------------------------------------------
+    _STATE_LEVEL = {
+        RootState.ALIVE: 0,
+        RootState.SUSPECTED: 1,
+        RootState.GLOBALLY_DOWN: 2,
+    }
+
+    def _set_state(self, new_state: RootState) -> None:
+        if new_state is self.root_state:
+            return
+        self.root_state = new_state
+        obs = self.trace.obs
+        if obs is not None:
+            me = self.router.node_id
+            obs.registry.set("rnfd.state", self._STATE_LEVEL[new_state], node=me)
+            obs.registry.inc("rnfd.transition", node=me, to=new_state.value)
+
+    def _ensure_verdict_span(self, role: str) -> None:
+        """Open the per-node ``rnfd.verdict`` span at first suspicion.
+
+        Its duration is the node's detection latency (suspicion to
+        verdict); gossip broadcasts it triggers become its children, so
+        the dissemination wave reconstructs as one tree per node.
+        """
+        obs = self.trace.obs
+        if obs is None or obs.spans is None or self._verdict_ctx is not None:
+            return
+        self._verdict_ctx = obs.spans.start(
+            None, "rnfd.verdict", node=self.router.node_id, t=self.sim.now,
+            role=role,
+        )
+
     def _reevaluate(self) -> None:
         if self.cfrc.sentinel_count < self.config.min_sentinels:
             return
+        obs = self.trace.obs
         fraction = self.cfrc.down_fraction()
         if fraction >= self.config.quorum:
             if self.root_state is not RootState.GLOBALLY_DOWN:
-                self.root_state = RootState.GLOBALLY_DOWN
+                self._set_state(RootState.GLOBALLY_DOWN)
                 self.detection_time = self.sim.now
                 self.dead_root = self._root_id()
                 self.trace.emit(self.sim.now, "rnfd.globally_down",
                                 node=self.router.node_id, fraction=fraction)
+                if obs is not None:
+                    obs.registry.inc("rnfd.globally_down",
+                                     node=self.router.node_id)
+                    if obs.spans is not None:
+                        self._ensure_verdict_span(role="observer")
+                        obs.spans.event(
+                            self._verdict_ctx, "rnfd.globally_down",
+                            node=self.router.node_id, t=self.sim.now,
+                            fraction=fraction,
+                        )
+                        obs.spans.finish(self._verdict_ctx, self.sim.now,
+                                         verdict="globally_down")
                 self._mark_dirty()
                 self._gossip()
                 if self.on_global_down is not None:
@@ -280,17 +341,32 @@ class RnfdAgent:
         elif self.root_state is RootState.GLOBALLY_DOWN:
             # Sentinel absolutions pulled the count below quorum: the
             # root provably returned.
-            self.root_state = (
+            self._set_state(
                 RootState.SUSPECTED if self.cfrc.down_count else RootState.ALIVE
             )
             self.dead_root = None
             self.detection_time = None
             self.trace.emit(self.sim.now, "rnfd.absolved",
                             node=self.router.node_id)
+            if obs is not None:
+                obs.registry.inc("rnfd.absolved", node=self.router.node_id)
+                if obs.spans is not None and self._verdict_ctx is not None:
+                    obs.spans.event(self._verdict_ctx, "rnfd.absolved",
+                                    node=self.router.node_id, t=self.sim.now)
+                    self._verdict_ctx = None
         elif self.cfrc.down_count > 0:
-            self.root_state = RootState.SUSPECTED
+            self._set_state(RootState.SUSPECTED)
+            self._ensure_verdict_span(
+                role="sentinel" if self.is_sentinel else "observer"
+            )
         else:
-            self.root_state = RootState.ALIVE
+            self._set_state(RootState.ALIVE)
+            if self._verdict_ctx is not None and obs is not None and (
+                obs.spans is not None
+            ):
+                obs.spans.finish(self._verdict_ctx, self.sim.now,
+                                 verdict="revoked")
+                self._verdict_ctx = None
 
     def _enforce_verdict(self) -> None:
         """Tear the router off a DODAG anchored at the convicted root."""
@@ -304,8 +380,14 @@ class RnfdAgent:
     def reset(self) -> None:
         """Forget verdicts (after the root provably returned)."""
         self.cfrc = Cfrc()
-        self.root_state = RootState.ALIVE
+        self._set_state(RootState.ALIVE)
         self.detection_time = None
         self.dead_root = None
         self._consecutive_failures = 0
         self._gossip_budget = 0
+        obs = self.trace.obs
+        if obs is not None and obs.spans is not None and (
+            self._verdict_ctx is not None
+        ):
+            obs.spans.finish(self._verdict_ctx, self.sim.now, verdict="reset")
+        self._verdict_ctx = None

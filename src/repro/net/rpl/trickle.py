@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from repro.sim.kernel import Simulator
 from repro.sim.timers import Timer
+from repro.sim.trace import TraceLog
 
 
 class TrickleTimer:
@@ -30,6 +31,10 @@ class TrickleTimer:
         it heard >= k consistent messages in the current interval.
     on_transmit:
         Called at the chosen instant t when not suppressed.
+    trace / node:
+        Optional observability wiring: when the shared trace log carries
+        an ``repro.obs`` bundle, the timer records per-node
+        ``rpl.trickle.*`` counters and the current interval gauge.
     """
 
     def __init__(
@@ -40,6 +45,8 @@ class TrickleTimer:
         k: int,
         on_transmit: Callable[[], None],
         rng: Optional[random.Random] = None,
+        trace: Optional[TraceLog] = None,
+        node: Optional[int] = None,
     ) -> None:
         if imin_s <= 0:
             raise ValueError("imin_s must be positive")
@@ -53,6 +60,8 @@ class TrickleTimer:
         self.k = k
         self.on_transmit = on_transmit
         self._rng = rng if rng is not None else sim.substream("trickle")
+        self._trace = trace
+        self._node = node
         self.interval = imin_s
         self.counter = 0
         self._fire_timer = Timer(sim, self._fire)
@@ -95,6 +104,9 @@ class TrickleTimer:
         if not self._running:
             return
         self.resets += 1
+        obs = self._trace.obs if self._trace is not None else None
+        if obs is not None:
+            obs.registry.inc("rpl.trickle.reset", node=self._node)
         if self.interval > self.imin:
             self.interval = self.imin
             self._begin_interval()
@@ -108,12 +120,21 @@ class TrickleTimer:
         self._interval_timer.start(self.interval)
 
     def _fire(self) -> None:
+        obs = self._trace.obs if self._trace is not None else None
         if self.counter < self.k:
             self.transmissions += 1
+            if obs is not None:
+                obs.registry.inc("rpl.trickle.tx", node=self._node)
             self.on_transmit()
         else:
             self.suppressions += 1
+            if obs is not None:
+                obs.registry.inc("rpl.trickle.suppressed", node=self._node)
 
     def _interval_end(self) -> None:
         self.interval = min(self.interval * 2.0, self.imax)
+        obs = self._trace.obs if self._trace is not None else None
+        if obs is not None:
+            obs.registry.set("rpl.trickle.interval_s", self.interval,
+                             node=self._node)
         self._begin_interval()

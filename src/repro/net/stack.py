@@ -187,8 +187,10 @@ class NetworkStack:
     # ------------------------------------------------------------------
     # RplTransport protocol
     # ------------------------------------------------------------------
-    def broadcast_control(self, message: Any, size_bytes: int) -> None:
-        self.mac.send(BROADCAST, message, size_bytes)
+    def broadcast_control(
+        self, message: Any, size_bytes: int, trace_ctx: Any = None
+    ) -> None:
+        self.mac.send(BROADCAST, message, size_bytes, trace_ctx=trace_ctx)
 
     def unicast_control(
         self,
@@ -196,8 +198,9 @@ class NetworkStack:
         message: Any,
         size_bytes: int,
         done: Optional[Callable[[bool], None]] = None,
+        trace_ctx: Any = None,
     ) -> None:
-        self.mac.send(dest, message, size_bytes, done=done)
+        self.mac.send(dest, message, size_bytes, done=done, trace_ctx=trace_ctx)
 
     def link_prr(self, neighbor: int) -> float:
         return self.medium.link_prr(self.node_id, neighbor)
@@ -257,20 +260,26 @@ class NetworkStack:
         self._route(packet, done)
 
     def send_local_broadcast(
-        self, port: int, payload: Any, payload_bytes: int, src_port: int = 1
+        self, port: int, payload: Any, payload_bytes: int, src_port: int = 1,
+        trace_ctx: Any = None,
     ) -> None:
         """One-hop broadcast datagram to all MAC neighbors.
 
         Used by gossip protocols (CRDT anti-entropy, aggregation query
         dissemination) that deliberately work link-locally instead of
-        routing through the DODAG.
+        routing through the DODAG.  ``trace_ctx`` parents the MAC job
+        and per-fragment spans, and rides on the datagram so receivers
+        can attach their handling to the sender's span.
         """
         datagram = Datagram(
             src=self.node_id, src_port=src_port,
             dst=BROADCAST, dst_port=port,
             payload=payload, payload_bytes=payload_bytes,
         )
-        self.frag.send(BROADCAST, datagram, datagram.size_bytes)
+        if trace_ctx is not None:
+            datagram.trace_ctx = trace_ctx
+        self.frag.send(BROADCAST, datagram, datagram.size_bytes,
+                       trace_ctx=trace_ctx)
 
     @property
     def connected(self) -> bool:
@@ -282,11 +291,14 @@ class NetworkStack:
     # ------------------------------------------------------------------
     # routing / forwarding
     # ------------------------------------------------------------------
-    def _send_dao(self, dao: DaoMessage, size_bytes: int) -> None:
+    def _send_dao(
+        self, dao: DaoMessage, size_bytes: int, trace_ctx: Any = None
+    ) -> None:
         root = self.rpl.dodag_id
         if root is None:
             return
-        self.send_datagram(root, RPL_DAO_PORT, dao, size_bytes)
+        self.send_datagram(root, RPL_DAO_PORT, dao, size_bytes,
+                           trace_ctx=trace_ctx)
 
     def _route(
         self,

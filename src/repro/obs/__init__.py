@@ -8,7 +8,11 @@ Four parts (DESIGN.md, "Observability"):
   parent/child links, threaded through the stack as ``trace_ctx``;
 - :mod:`repro.obs.profiler` — opt-in wall-time attribution inside the
   simulation kernel;
-- :mod:`repro.obs.export` — JSONL/CSV exporters, and
+- :mod:`repro.obs.health` — the per-node :class:`NodeHealthSampler`
+  gauge set (duty cycle, MAC queue, neighbors, rank, CRDT staleness);
+- :mod:`repro.obs.diff` — snapshot diffing behind
+  ``python -m repro diff`` (regression gates);
+- :mod:`repro.obs.export` — JSONL/CSV/JSON exporters, and
   :mod:`repro.obs.report` — the ``python -m repro report`` dashboard.
 
 The :class:`Observability` bundle rides on the run's shared
@@ -21,12 +25,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.diff import MetricDelta, diff_snapshots, load_snapshot
 from repro.obs.export import (
     export_run,
+    read_metrics_json,
     write_metrics_csv,
+    write_metrics_json,
     write_spans_jsonl,
     write_trace_jsonl,
 )
+from repro.obs.health import NodeHealthSampler, health_rows
 from repro.obs.profiler import SimProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsSnapshot, Registry
 from repro.obs.spans import Span, SpanContext, SpanNode, SpanTracer
@@ -36,7 +44,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricDelta",
     "MetricsSnapshot",
+    "NodeHealthSampler",
     "Observability",
     "Registry",
     "SimProfiler",
@@ -44,8 +54,13 @@ __all__ = [
     "SpanContext",
     "SpanNode",
     "SpanTracer",
+    "diff_snapshots",
     "export_run",
+    "health_rows",
+    "load_snapshot",
+    "read_metrics_json",
     "write_metrics_csv",
+    "write_metrics_json",
     "write_spans_jsonl",
     "write_trace_jsonl",
 ]

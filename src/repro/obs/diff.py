@@ -1,0 +1,165 @@
+"""Metrics-snapshot diffing: the regression-hunting workhorse.
+
+``python -m repro diff A.json B.json`` loads two exported
+:class:`~repro.obs.registry.MetricsSnapshot` files (written by
+``repro report --export``, ``benchmarks`` run with
+``--export-metrics``/``REPRO_BENCH_EXPORT_METRICS=1``, or
+:func:`repro.obs.export.write_metrics_json`), aligns every metric key,
+and reports relative deltas.  ``--fail-on R`` makes the exit code
+non-zero when any aligned series moved by more than the fraction ``R``
+— which is what lets a Makefile gate (``make diff-core``) catch a
+silent behaviour change the way the taxonomy gates caught the PR-2
+medium rework.
+
+Alignment rules: counters and gauges compare value-to-value;
+histograms compare count, sum, p50 and p95 as four derived series.
+Series present on only one side are always reported (and count as
+failures under ``--fail-on``, since an appearing/disappearing metric is
+a behaviour change too).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.metrics import percentile
+from repro.obs.registry import MetricsSnapshot, SeriesKey
+
+
+@dataclass
+class MetricDelta:
+    """One aligned series and how far it moved."""
+
+    kind: str
+    name: str
+    labels: Tuple[Tuple[str, Any], ...]
+    a: Optional[float]
+    b: Optional[float]
+
+    @property
+    def rel(self) -> float:
+        """Relative change |b-a|/|a|; inf for one-sided series."""
+        if self.a is None or self.b is None:
+            return math.inf
+        if self.a == self.b:
+            return 0.0
+        if self.a == 0.0:
+            return math.inf
+        return abs(self.b - self.a) / abs(self.a)
+
+    @property
+    def key(self) -> str:
+        label_str = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{label_str}}}" if label_str else self.name
+
+
+def _scalar_series(snap: MetricsSnapshot) -> Dict[Tuple[str, str, Tuple], float]:
+    """Flatten a snapshot into comparable scalar series."""
+    out: Dict[Tuple[str, str, Tuple], float] = {}
+    for (name, labels), value in snap.counters.items():
+        out[("counter", name, labels)] = value
+    for (name, labels), value in snap.gauges.items():
+        out[("gauge", name, labels)] = value
+    for (name, labels), values in snap.histograms.items():
+        out[("histogram", f"{name}.count", labels)] = float(len(values))
+        out[("histogram", f"{name}.sum", labels)] = sum(values)
+        if values:
+            out[("histogram", f"{name}.p50", labels)] = percentile(values, 0.5)
+            out[("histogram", f"{name}.p95", labels)] = percentile(values, 0.95)
+    return out
+
+
+def diff_snapshots(
+    a: MetricsSnapshot, b: MetricsSnapshot
+) -> List[MetricDelta]:
+    """Every aligned (and one-sided) series, sorted by descending
+    relative change, ties broken by key for determinism."""
+    series_a = _scalar_series(a)
+    series_b = _scalar_series(b)
+    deltas: List[MetricDelta] = []
+    for key in set(series_a) | set(series_b):
+        kind, name, labels = key
+        deltas.append(MetricDelta(
+            kind=kind, name=name, labels=labels,
+            a=series_a.get(key), b=series_b.get(key),
+        ))
+    # One-sided series (rel=inf) first, then by descending rel; key
+    # breaks ties so the ordering is deterministic.
+    deltas.sort(key=lambda d: (0 if d.rel == math.inf else 1,
+                               -min(d.rel, 1e18), d.key))
+    return deltas
+
+
+def load_snapshot(path: str) -> MetricsSnapshot:
+    with open(path, "r", encoding="utf-8") as handle:
+        return MetricsSnapshot.from_jsonable(json.load(handle))
+
+
+def render_deltas(
+    deltas: List[MetricDelta],
+    threshold: float = 0.0,
+    top: int = 40,
+    show_all: bool = False,
+) -> str:
+    changed = [d for d in deltas if d.rel > threshold]
+    lines = [
+        f"{len(deltas)} aligned series, {len(changed)} over "
+        f"threshold {threshold:g}",
+    ]
+    shown = deltas if show_all else changed[:top]
+    if changed and not show_all and len(changed) > top:
+        lines[0] += f" (showing top {top})"
+    if shown:
+        width = max(len(d.key) for d in shown)
+        width = min(width, 64)
+        for d in shown:
+            a = "-" if d.a is None else f"{d.a:g}"
+            b = "-" if d.b is None else f"{d.b:g}"
+            rel = "new/gone" if d.rel == math.inf else f"{d.rel * 100:+.1f}%"
+            marker = "!" if d.rel > threshold else " "
+            lines.append(f" {marker} {d.key:<{width}}  {a} -> {b}  ({rel})")
+    else:
+        lines.append("  no differences")
+    return "\n".join(lines)
+
+
+def diff_main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.  Exit codes: 0 = within threshold, 1 = at least
+    one series moved more than ``--fail-on``, 2 = usage/load error."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro diff",
+        description="Diff two exported metrics snapshots.",
+    )
+    parser.add_argument("snapshot_a", help="baseline metrics JSON")
+    parser.add_argument("snapshot_b", help="candidate metrics JSON")
+    parser.add_argument("--fail-on", type=float, default=None, metavar="REL",
+                        help="exit 1 when any series moves by more than this "
+                             "relative fraction (e.g. 0.05 = 5%%)")
+    parser.add_argument("--filter", default=None, metavar="PREFIX",
+                        help="only consider metric names with this prefix")
+    parser.add_argument("--top", type=int, default=40,
+                        help="show at most this many changed series")
+    parser.add_argument("--show-all", action="store_true",
+                        help="list every aligned series, changed or not")
+    args = parser.parse_args(argv)
+
+    try:
+        snap_a = load_snapshot(args.snapshot_a)
+        snap_b = load_snapshot(args.snapshot_b)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    deltas = diff_snapshots(snap_a, snap_b)
+    if args.filter:
+        deltas = [d for d in deltas if d.name.startswith(args.filter)]
+    threshold = args.fail_on if args.fail_on is not None else 0.0
+    print(render_deltas(deltas, threshold=threshold, top=args.top,
+                        show_all=args.show_all))
+    if args.fail_on is not None and any(d.rel > args.fail_on for d in deltas):
+        return 1
+    return 0

@@ -63,6 +63,23 @@ def write_trace_jsonl(trace: TraceLog, path: str) -> int:
     return count
 
 
+def write_metrics_json(snapshot: MetricsSnapshot, path: str) -> int:
+    """The snapshot in the ``repro diff`` interchange format.  Returns
+    the series count written."""
+    payload = snapshot.to_jsonable()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return (len(payload["counters"]) + len(payload["gauges"])
+            + len(payload["histograms"]))
+
+
+def read_metrics_json(path: str) -> MetricsSnapshot:
+    """Load a snapshot written by :func:`write_metrics_json`."""
+    with open(path, "r") as handle:
+        return MetricsSnapshot.from_jsonable(json.load(handle))
+
+
 def write_metrics_csv(snapshot: MetricsSnapshot, path: str) -> int:
     """The snapshot's flat rows as CSV.  Returns the row count."""
     rows = snapshot.rows()
@@ -98,6 +115,8 @@ def export_run(
     if snapshot is not None:
         written["metrics.csv"] = write_metrics_csv(
             snapshot, os.path.join(directory, "metrics.csv"))
+        written["metrics.json"] = write_metrics_json(
+            snapshot, os.path.join(directory, "metrics.json"))
     if trace.enabled:
         written["trace.jsonl"] = write_trace_jsonl(
             trace, os.path.join(directory, "trace.jsonl"))

@@ -96,29 +96,49 @@ class Registry:
         self._counters: Dict[SeriesKey, Counter] = {}
         self._gauges: Dict[SeriesKey, Gauge] = {}
         self._histograms: Dict[SeriesKey, Histogram] = {}
+        # Instrument lookup caches keyed on the *call-site* label order
+        # ((name, tuple(labels.items()))), so the hot path skips the
+        # per-call sort in _series_key after first touch.  Different
+        # orderings of the same labels simply cache to the same
+        # instrument under two cache keys.
+        self._counter_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Counter] = {}
+        self._gauge_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Gauge] = {}
+        self._histogram_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Histogram] = {}
 
     # ------------------------------------------------------------------
     # instrument access
     # ------------------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
-        key = _series_key(name, labels)
-        instrument = self._counters.get(key)
+        cache_key = (name, tuple(labels.items()))
+        instrument = self._counter_cache.get(cache_key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, key[1])
+            key = _series_key(name, labels)
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(name, key[1])
+            self._counter_cache[cache_key] = instrument
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
-        key = _series_key(name, labels)
-        instrument = self._gauges.get(key)
+        cache_key = (name, tuple(labels.items()))
+        instrument = self._gauge_cache.get(cache_key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, key[1])
+            key = _series_key(name, labels)
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(name, key[1])
+            self._gauge_cache[cache_key] = instrument
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
-        key = _series_key(name, labels)
-        instrument = self._histograms.get(key)
+        cache_key = (name, tuple(labels.items()))
+        instrument = self._histogram_cache.get(cache_key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, key[1])
+            key = _series_key(name, labels)
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(name, key[1])
+            self._histogram_cache[cache_key] = instrument
         return instrument
 
     # ------------------------------------------------------------------
@@ -200,6 +220,49 @@ class MetricsSnapshot:
             if key[0] == name:
                 out.extend(self.histograms[key])
         return out
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the `repro diff` interchange format)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON shape: series listed in deterministic key order.
+
+        Label keys are always strings (they arrive as kwargs); label
+        values survive the round trip for JSON scalars (str/int/float/
+        bool), which is every label the codebase emits.
+        """
+        def series(mapping: Dict[SeriesKey, Any]) -> List[Dict[str, Any]]:
+            out = []
+            for key in sorted(mapping, key=repr):
+                name, labels = key
+                value = mapping[key]
+                out.append({"name": name, "labels": dict(labels),
+                            "value": list(value) if isinstance(value, tuple) else value})
+            return out
+
+        return {
+            "format": "repro.metrics/1",
+            "counters": series(self.counters),
+            "gauges": series(self.gauges),
+            "histograms": series(self.histograms),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "MetricsSnapshot":
+        if payload.get("format") != "repro.metrics/1":
+            raise ValueError(f"not a repro metrics snapshot: format={payload.get('format')!r}")
+
+        def key_of(entry: Dict[str, Any]) -> SeriesKey:
+            return entry["name"], tuple(sorted(entry.get("labels", {}).items()))
+
+        snap = cls()
+        for entry in payload.get("counters", []):
+            snap.counters[key_of(entry)] = float(entry["value"])
+        for entry in payload.get("gauges", []):
+            snap.gauges[key_of(entry)] = float(entry["value"])
+        for entry in payload.get("histograms", []):
+            snap.histograms[key_of(entry)] = tuple(float(v) for v in entry["value"])
+        return snap
 
     def rows(self) -> List[Dict[str, Any]]:
         """Flat, deterministically ordered rows (the CSV export shape)."""

@@ -1,12 +1,16 @@
 """``python -m repro report`` — the observability CLI dashboard.
 
 Runs a small instrumented deployment end to end (DODAG convergence,
-then CoAP request traffic from the border router to every leaf) with
-the full observability stack attached — metrics registry, span tracing,
-and the kernel profiler — and renders what it saw: delivery counters,
-latency percentiles, duty cycles, trace hot categories, wall-time hot
-spots, and one reconstructed packet-lifecycle tree.  ``--export DIR``
-additionally writes the JSONL/CSV artifacts for offline analysis.
+then CoAP request traffic from the border router to every leaf, one
+in-network aggregation query, and a gossiped CRDT counter) with the
+full observability stack attached — metrics registry, span tracing,
+node-health sampling, and the kernel profiler — and renders what it
+saw: delivery counters, latency percentiles, duty cycles, control-plane
+activity, a per-node health table, trace hot categories, wall-time hot
+spots, and reconstructed lifecycle trees for a data-plane packet, a
+control-plane event, and a middleware round.  ``--export DIR``
+additionally writes the JSONL/CSV/JSON artifacts for offline analysis
+(``metrics.json`` feeds ``python -m repro diff``).
 
 The module is imported lazily by :mod:`repro.__main__` (it pulls in
 :mod:`repro.core`, which :mod:`repro.obs` itself must not import).
@@ -18,13 +22,16 @@ import argparse
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.aggregation.service import AggregationService
 from repro.core.metrics import percentile
 from repro.core.system import IIoTSystem, SystemConfig
+from repro.crdt import CrdtReplica, GCounter, NetworkReplicator
 from repro.deployment.topology import grid_topology
 from repro.devices.phenomena import DiurnalField
 from repro.middleware.coap import CoapClient, CoapServer, CoapTransport
 from repro.middleware.coap.resource import CallbackResource
 from repro.obs.export import export_run
+from repro.obs.health import NodeHealthSampler, health_rows
 from repro.obs.profiler import SimProfiler
 
 
@@ -39,6 +46,8 @@ class ReportRun:
     failures: int = 0
     #: Trace ids of requests that were answered, in completion order.
     answered_traces: List[int] = field(default_factory=list)
+    health: Optional[NodeHealthSampler] = None
+    agg_results: List = field(default_factory=list)
 
 
 def run_demo(
@@ -67,6 +76,30 @@ def run_demo(
     client = CoapClient(CoapTransport(system.root.stack))
     run = ReportRun(system=system, profiler=profiler)
 
+    # Middleware under observation: one epoch-aggregation query and a
+    # gossiped CRDT counter, so the dashboard has anti-entropy rounds
+    # and aggregation epochs to show alongside the data plane.
+    services = {nid: AggregationService(node)
+                for nid, node in system.nodes.items()}
+    epoch_s = max(20.0, traffic_s / 4.0)
+    services[system.topology.root_id].run_query(
+        "temp", "avg", epoch_s=epoch_s, on_result=run.agg_results.append,
+    )
+    replicators: Dict[int, NetworkReplicator] = {}
+    for nid, node in system.nodes.items():
+        replica = CrdtReplica(nid, GCounter(nid))
+        replicators[nid] = NetworkReplicator(node.stack, replica)
+        replicators[nid].start()
+        replica.mutate(lambda s: s.increment())
+        replicators[nid].notify_local_update()
+
+    # Per-node health telemetry on a sim-time cadence (explicitly
+    # attached: the sampler schedules events, so it is never implied by
+    # observability=True alone).
+    run.health = NodeHealthSampler(system, period_s=30.0,
+                                   replicators=replicators)
+    run.health.start()
+
     spans = system.obs.spans
 
     def poll(node_id: int) -> None:
@@ -92,6 +125,7 @@ def run_demo(
     system.run(traffic_s)
 
     # Freeze end-of-run levels into the registry as gauges.
+    run.health.sample_once()
     registry = system.obs.registry
     for node_id in sorted(system.nodes):
         node = system.nodes[node_id]
@@ -105,6 +139,31 @@ def run_demo(
 # ----------------------------------------------------------------------
 def _section(title: str) -> str:
     return f"\n{title}\n{'-' * len(title)}"
+
+
+def _first_trace_of(spans, categories) -> Optional[int]:
+    """The lowest trace id containing a span of one of ``categories``."""
+    for trace_id in spans.trace_ids():
+        for span in spans.spans_for(trace_id):
+            if span.category in categories:
+                return trace_id
+    return None
+
+
+def _format_table(rows: List[Dict], columns: List[str]) -> List[str]:
+    """Fixed-width text table; floats shortened, missing cells blank."""
+    def cell(row: Dict, col: str) -> str:
+        value = row.get(col, "")
+        if isinstance(value, float):
+            return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+        return str(value)
+
+    widths = {c: max(len(c), max((len(cell(r, c)) for r in rows), default=0))
+              for c in columns}
+    lines = ["  ".join(f"{c:>{widths[c]}}" for c in columns)]
+    for row in rows:
+        lines.append("  ".join(f"{cell(row, c):>{widths[c]}}" for c in columns))
+    return lines
 
 
 def render_report(run: ReportRun, top: int = 8) -> str:
@@ -149,6 +208,56 @@ def render_report(run: ReportRun, top: int = 8) -> str:
     lines.append(f"min={min(duty):.1%}  mean={sum(duty) / len(duty):.1%}  "
                  f"max={max(duty):.1%}")
 
+    lines.append(_section("control plane"))
+    lines.append(
+        f"rpl: dio={registry.total('rpl.dio'):.0f} "
+        f"dao={registry.total('rpl.dao'):.0f} "
+        f"parent switches={registry.total('rpl.parent_change'):.0f} "
+        f"detaches={registry.total('rpl.detach'):.0f}"
+    )
+    trickle_tx = registry.total("rpl.trickle.tx")
+    trickle_sup = registry.total("rpl.trickle.suppressed")
+    fired = trickle_tx + trickle_sup
+    suppression = trickle_sup / fired if fired else 0.0
+    lines.append(
+        f"trickle: tx={trickle_tx:.0f} suppressed={trickle_sup:.0f} "
+        f"({suppression:.0%}) resets={registry.total('rpl.trickle.reset'):.0f}"
+    )
+    rnfd_probes = registry.total("rnfd.probe")
+    if rnfd_probes:
+        lines.append(
+            f"rnfd: probes={rnfd_probes:.0f} "
+            f"locally_down={registry.total('rnfd.locally_down'):.0f} "
+            f"verdicts={registry.total('rnfd.globally_down'):.0f}"
+        )
+
+    lines.append(_section("middleware"))
+    lines.append(
+        f"aggregation: partials={registry.total('agg.partial'):.0f} "
+        f"folds={registry.total('agg.fold'):.0f} "
+        f"epochs={registry.total('agg.result'):.0f}"
+        + (f" (last avg={run.agg_results[-1].value:.1f} over "
+           f"{run.agg_results[-1].node_count} nodes)" if run.agg_results else "")
+    )
+    lines.append(
+        f"crdt: anti-entropy rounds={registry.total('crdt.gossip'):.0f} "
+        f"({registry.total('crdt.gossip_bytes'):.0f} B) "
+        f"merges={registry.total('crdt.merge'):.0f}"
+    )
+    lags = registry.values("crdt.merge_lag_s")
+    if lags:
+        lines.append(
+            f"merge convergence lag: n={len(lags)} "
+            f"p50={percentile(lags, 0.5):.1f}s p95={percentile(lags, 0.95):.1f}s"
+        )
+
+    rows = health_rows(registry)
+    if rows:
+        lines.append(_section("node health (last sample)"))
+        columns = ["node", "alive", "duty_cycle", "avg_ma", "queue",
+                   "q_drops", "nbrs", "rank", "parent", "crdt_stale_s"]
+        lines.extend(_format_table(rows, columns))
+
     lines.append(_section(f"top trace categories (of {len(trace.counters)})"))
     ranked = sorted(trace.counters.items(), key=lambda kv: (-kv[1], kv[0]))
     for category, count in ranked[:top]:
@@ -162,6 +271,17 @@ def render_report(run: ReportRun, top: int = 8) -> str:
     if spans is not None and run.answered_traces:
         lines.append(_section("sample packet lifecycle (first answered GET)"))
         lines.append(spans.render(run.answered_traces[0]))
+
+    if spans is not None:
+        control = _first_trace_of(spans, ("rpl.parent_switch", "rnfd.verdict"))
+        if control is not None:
+            lines.append(_section("sample control-plane lifecycle"))
+            lines.append(spans.render(control))
+        middleware = _first_trace_of(spans, ("crdt.anti_entropy", "agg.epoch",
+                                             "agg.partial"))
+        if middleware is not None:
+            lines.append(_section("sample middleware lifecycle"))
+            lines.append(spans.render(middleware))
 
     return "\n".join(lines)
 

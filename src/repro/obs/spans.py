@@ -17,7 +17,7 @@ run produces identical span ids run over run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class SpanContext:
@@ -33,22 +33,45 @@ class SpanContext:
         return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
 
 
-@dataclass
 class Span:
-    """One recorded step; ``end`` is None while the step is open."""
+    """One recorded step; ``end`` is None while the step is open.
 
-    span_id: int
-    trace_id: int
-    parent_id: Optional[int]
-    category: str
-    node: Optional[int]
-    start: float
-    end: Optional[float] = None
-    data: Dict[str, Any] = field(default_factory=dict)
+    A plain ``__slots__`` class (not a dataclass): span construction is
+    the single hottest allocation of an instrumented run, and skipping
+    the per-instance ``__dict__`` keeps each record small and cheap.
+    """
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "category", "node",
+                 "start", "end", "data")
+
+    def __init__(
+        self,
+        span_id: int,
+        trace_id: int,
+        parent_id: Optional[int],
+        category: str,
+        node: Optional[int],
+        start: float,
+        end: Optional[float] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.category = category
+        self.node = node
+        self.start = start
+        self.end = end
+        self.data = data if data is not None else {}
 
     @property
     def duration(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span(id={self.span_id}, trace={self.trace_id}, "
+                f"parent={self.parent_id}, {self.category!r}, node={self.node}, "
+                f"t={self.start}..{self.end}, data={self.data})")
 
 
 @dataclass
@@ -66,10 +89,13 @@ class SpanNode:
 
     def categories(self) -> List[str]:
         """Every category in the subtree, preorder."""
-        out = [self.span.category]
+        return [node.span.category for node in self.walk()]
+
+    def walk(self) -> Iterator["SpanNode"]:
+        """Every node of the subtree, preorder."""
+        yield self
         for child in self.children:
-            out.extend(child.categories())
-        return out
+            yield from child.walk()
 
 
 class SpanTracer:
@@ -102,10 +128,12 @@ class SpanTracer:
             parent_id = parent.span_id
         span_id = self._next_span
         self._next_span += 1
-        span = Span(span_id=span_id, trace_id=trace_id, parent_id=parent_id,
-                    category=category, node=node, start=t, data=data)
-        self.spans[span_id] = span
-        self._by_trace.setdefault(trace_id, []).append(span_id)
+        self.spans[span_id] = Span(span_id, trace_id, parent_id,
+                                   category, node, t, None, data)
+        by_trace = self._by_trace.get(trace_id)
+        if by_trace is None:
+            by_trace = self._by_trace[trace_id] = []
+        by_trace.append(span_id)
         return SpanContext(trace_id, span_id)
 
     def finish(self, ctx: SpanContext, t: float, **data: Any) -> None:
@@ -126,10 +154,20 @@ class SpanTracer:
         t: float,
         **data: Any,
     ) -> SpanContext:
-        """A zero-duration child span (a point occurrence on the path)."""
-        ctx = self.start(parent, category, node, t, **data)
-        self.finish(ctx, t)
-        return ctx
+        """A zero-duration child span (a point occurrence on the path).
+
+        Built closed in one allocation rather than via start()+finish().
+        """
+        span_id = self._next_span
+        self._next_span += 1
+        trace_id = parent.trace_id
+        self.spans[span_id] = Span(span_id, trace_id, parent.span_id,
+                                   category, node, t, t, data)
+        by_trace = self._by_trace.get(trace_id)
+        if by_trace is None:
+            by_trace = self._by_trace[trace_id] = []
+        by_trace.append(span_id)
+        return SpanContext(trace_id, span_id)
 
     # ------------------------------------------------------------------
     # reconstruction

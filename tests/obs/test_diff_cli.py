@@ -1,0 +1,164 @@
+"""``python -m repro diff``: alignment, thresholds, and exit codes."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.diff import diff_main, diff_snapshots, load_snapshot
+from repro.obs.export import read_metrics_json, write_metrics_json
+from repro.obs.registry import MetricsSnapshot, Registry
+
+
+def sample_registry(delivery=100.0, latency_scale=1.0) -> Registry:
+    registry = Registry()
+    registry.inc("net.sent", 200, node=1)
+    registry.inc("net.delivered", delivery, node=1)
+    registry.set("rpl.rank", 512, node=1)
+    for value in (0.5, 1.0, 2.0, 4.0):
+        registry.observe("net.latency_s", value * latency_scale, node=1)
+    return registry
+
+
+def write_snapshot(path, registry) -> str:
+    write_metrics_json(registry.snapshot(), str(path))
+    return str(path)
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_have_zero_relative_change(self):
+        a, b = sample_registry().snapshot(), sample_registry().snapshot()
+        deltas = diff_snapshots(a, b)
+        assert deltas and all(d.rel == 0.0 for d in deltas)
+
+    def test_counter_delta_is_relative(self):
+        a = sample_registry(delivery=100.0).snapshot()
+        b = sample_registry(delivery=90.0).snapshot()
+        moved = {d.key: d for d in diff_snapshots(a, b) if d.rel > 0}
+        assert moved["net.delivered{node=1}"].rel == pytest.approx(0.10)
+        # Everything else held still.
+        assert len(moved) == 1
+
+    def test_histograms_compare_as_derived_series(self):
+        a = sample_registry().snapshot()
+        b = sample_registry(latency_scale=2.0).snapshot()
+        moved = {d.key for d in diff_snapshots(a, b) if d.rel > 0}
+        assert "net.latency_s.sum{node=1}" in moved
+        assert "net.latency_s.p50{node=1}" in moved
+        assert "net.latency_s.p95{node=1}" in moved
+        assert "net.latency_s.count{node=1}" not in moved
+
+    def test_one_sided_series_sort_first_with_infinite_change(self):
+        a = sample_registry().snapshot()
+        extra = sample_registry()
+        extra.inc("rnfd.globally_down", 1, node=2)
+        deltas = diff_snapshots(a, extra.snapshot())
+        assert deltas[0].rel == math.inf
+        assert deltas[0].key == "rnfd.globally_down{node=2}"
+        assert deltas[0].a is None and deltas[0].b == 1.0
+
+    def test_ordering_is_deterministic(self):
+        a = sample_registry(delivery=100.0).snapshot()
+        b = sample_registry(delivery=50.0, latency_scale=1.5).snapshot()
+        keys = [d.key for d in diff_snapshots(a, b)]
+        assert keys == [d.key for d in diff_snapshots(a, b)]
+        assert keys[0] == "net.delivered{node=1}"  # biggest mover first
+
+
+class TestJsonRoundTrip:
+    def test_snapshot_survives_the_interchange_format(self, tmp_path):
+        snapshot = sample_registry().snapshot()
+        path = write_snapshot(tmp_path / "a.json", sample_registry())
+        loaded = read_metrics_json(path)
+        assert loaded.counters == snapshot.counters
+        assert loaded.gauges == snapshot.gauges
+        assert loaded.histograms == snapshot.histograms
+        assert all(d.rel == 0.0 for d in diff_snapshots(snapshot, loaded))
+
+    def test_load_snapshot_rejects_wrong_format(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "something-else/9"}))
+        with pytest.raises(ValueError):
+            load_snapshot(str(bad))
+
+    def test_from_jsonable_round_trips_via_plain_json(self):
+        snapshot = sample_registry().snapshot()
+        clone = MetricsSnapshot.from_jsonable(
+            json.loads(json.dumps(snapshot.to_jsonable())))
+        assert clone.counters == snapshot.counters
+
+
+class TestCliExitCodes:
+    def test_identical_snapshots_exit_zero(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        b = write_snapshot(tmp_path / "b.json", sample_registry())
+        assert diff_main([a, b, "--fail-on", "0.05"]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_ten_percent_delivery_delta_fails_five_percent_gate(
+            self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry(100.0))
+        b = write_snapshot(tmp_path / "b.json", sample_registry(90.0))
+        assert diff_main([a, b, "--fail-on", "0.05"]) == 1
+        out = capsys.readouterr().out
+        assert "net.delivered{node=1}" in out
+        assert "-10.0%" in out or "10.0%" in out
+
+    def test_loose_gate_tolerates_the_same_delta(self, tmp_path):
+        a = write_snapshot(tmp_path / "a.json", sample_registry(100.0))
+        b = write_snapshot(tmp_path / "b.json", sample_registry(90.0))
+        assert diff_main([a, b, "--fail-on", "0.5"]) == 0
+
+    def test_without_fail_on_reporting_never_fails(self, tmp_path):
+        a = write_snapshot(tmp_path / "a.json", sample_registry(100.0))
+        b = write_snapshot(tmp_path / "b.json", sample_registry(50.0))
+        assert diff_main([a, b]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        assert diff_main([a, str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_garbage_json_exits_two(self, tmp_path):
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert diff_main([a, str(bad)]) == 2
+
+    def test_filter_narrows_the_report(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry(100.0))
+        b = write_snapshot(tmp_path / "b.json",
+                           sample_registry(90.0, latency_scale=2.0))
+        assert diff_main([a, b, "--fail-on", "0.05",
+                          "--filter", "rpl."]) == 0
+        out = capsys.readouterr().out
+        assert "net.delivered" not in out
+
+    def test_module_dispatch_reaches_diff(self, tmp_path):
+        from repro.__main__ import main
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        b = write_snapshot(tmp_path / "b.json", sample_registry())
+        assert main(["diff", a, b, "--fail-on", "0.05"]) == 0
+
+
+class TestBenchmarkExport:
+    def test_rows_become_labeled_gauges(self):
+        from benchmarks._common import rows_to_snapshot
+        rows = [
+            {"mac": "csma", "delivery": 0.97, "passed": True, "n": 9},
+            {"mac": "lpl", "delivery": 0.91, "passed": False, "n": 9},
+        ]
+        snapshot = rows_to_snapshot("e1", rows)
+        # Strings AND bools label the series; numbers become gauges.
+        key = ("e1.delivery", (("mac", "csma"), ("passed", True)))
+        assert snapshot.gauges[key] == 0.97
+        assert ("e1.n", (("mac", "lpl"), ("passed", False))) in snapshot.gauges
+        assert not snapshot.counters and not snapshot.histograms
+
+    def test_unlabeled_rows_stay_distinct_and_diffable(self, tmp_path):
+        from benchmarks._common import rows_to_snapshot
+        a = rows_to_snapshot("b", [{"x": 1.0}, {"x": 2.0}])
+        b = rows_to_snapshot("b", [{"x": 1.0}, {"x": 2.2}])
+        assert len(a.gauges) == 2
+        moved = [d for d in diff_snapshots(a, b) if d.rel > 0]
+        assert len(moved) == 1 and moved[0].rel == pytest.approx(0.10)
