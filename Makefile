@@ -1,8 +1,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check-invariants sweep bench bench-perf report demo \
-	diff-core diff-core-baseline
+.PHONY: test check-invariants check-dependability sweep bench bench-perf \
+	report demo diff-core diff-core-baseline dependability-baseline \
+	diff-taxonomy diff-taxonomy-baseline
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -13,9 +14,24 @@ test:
 # tier-1 so its longer scenario runs don't slow the inner loop. The CLI
 # sweep runs with --jobs 2 as a standing smoke of the parallel engine
 # (outcomes are identical for every jobs count).
-check-invariants:
+check-invariants: check-dependability
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
+
+# Dependability gate: runs the declarative fault-plan scenarios (HVAC
+# safety under a fault schedule + the availability probe) at the pinned
+# gate seed, asserts zero violations and a non-zero availability-axis
+# score, then diffs the emitted dependability/fault metrics against the
+# committed baseline (same DIFF_FAIL_ON contract as diff-core).
+DEPENDABILITY_BASELINE := benchmarks/results/dependability.baseline.json
+check-dependability:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro dependability --export .dependability.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro diff $(DEPENDABILITY_BASELINE) .dependability.json --fail-on $(DIFF_FAIL_ON)
+	rm -f .dependability.json
+
+dependability-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro dependability --export $(DEPENDABILITY_BASELINE)
+	@echo "refreshed $(DEPENDABILITY_BASELINE) — review and commit it"
 
 # Just the CLI sweep (SEEDS=n to widen, JOBS=n to parallelize; 0 = all
 # cores).
@@ -68,3 +84,20 @@ diff-core-baseline:
 	cp .diff-core/metrics.json $(DIFF_CORE_BASELINE)
 	rm -rf .diff-core
 	@echo "refreshed $(DIFF_CORE_BASELINE) — review and commit it"
+
+# Same gate for the taxonomy capstone: re-runs the report-card bench
+# with metrics export on and diffs its row snapshot against the
+# committed baseline, so a silent shift in any axis score fails CI.
+TAXONOMY_BASELINE := benchmarks/results/taxonomy_report.baseline.json
+TAXONOMY_EXPORT := benchmarks/results/taxonomy_report.metrics.json
+diff-taxonomy:
+	REPRO_BENCH_EXPORT_METRICS=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_taxonomy_report.py --benchmark-only -q >/dev/null
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro diff $(TAXONOMY_BASELINE) $(TAXONOMY_EXPORT) --fail-on $(DIFF_FAIL_ON)
+	rm -f $(TAXONOMY_EXPORT)
+
+diff-taxonomy-baseline:
+	REPRO_BENCH_EXPORT_METRICS=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_taxonomy_report.py --benchmark-only -q >/dev/null
+	mv $(TAXONOMY_EXPORT) $(TAXONOMY_BASELINE)
+	@echo "refreshed $(TAXONOMY_BASELINE) — review and commit it"

@@ -15,7 +15,9 @@ time until ≥95% of survivors are re-joined, and DIO traffic, per Trickle
 Imin.  Then a stuck-at sensor fault is planted and diagnosed.
 """
 
-from benchmarks._common import once, publish
+import os
+
+from benchmarks._common import once, publish, run_trials
 from repro.aggregation.service import RawCollectionService
 from repro.core.system import IIoTSystem, SystemConfig
 from repro.deployment.topology import grid_topology
@@ -29,11 +31,15 @@ PROBE_PERIOD = 30.0
 
 
 def _run_recovery(imin, seed):
-    config = SystemConfig(stack=StackConfig(
-        mac="csma",
-        rpl=RplConfig(trickle_imin_s=imin, trickle_doublings=8,
-                      trickle_k=5),
-    ))
+    config = SystemConfig(
+        stack=StackConfig(
+            mac="csma",
+            rpl=RplConfig(trickle_imin_s=imin, trickle_doublings=8,
+                          trickle_k=5),
+        ),
+        # Opt-in runtime checking (transparent: results are identical).
+        invariant_checking=os.environ.get("REPRO_BENCH_CHECK") == "1",
+    )
     system = IIoTSystem.build(grid_topology(5), config=config, seed=seed)
     system.start()
     system.run(400.0)
@@ -78,6 +84,10 @@ def _run_recovery(imin, seed):
     dio_used = sum(
         n.stack.rpl.dio_sent for n in system.nodes.values()
     ) - dio_before
+    if system.checkers is not None:
+        system.checkers.finish()
+        system.checkers.detach()
+        system.checkers.assert_clean()
     return recovered_at, dio_used
 
 
@@ -122,17 +132,20 @@ def _run_diagnosis(seed):
     return suspect, variances
 
 
+IMINS = (1.0, 4.0, 16.0)
+
+
 def run_e10():
-    rows = []
-    for imin in (1.0, 4.0, 16.0):
-        recovery, dios = _run_recovery(imin, seed=121)
-        rows.append({
+    results = run_trials(_run_recovery, [(imin, 121) for imin in IMINS])
+    return [
+        {
             "trickle Imin [s]": imin,
             "recovery time [s]": (recovery if recovery is not None
                                   else float("nan")),
             "DIOs during repair": dios,
-        })
-    return rows
+        }
+        for imin, (recovery, dios) in zip(IMINS, results)
+    ]
 
 
 def bench_e10_self_healing(benchmark):

@@ -14,7 +14,9 @@ the classic mitigation — retune to channel 26, which stays clear of the
 1/6/11 Wi-Fi masks.
 """
 
-from benchmarks._common import once, publish
+import os
+
+from benchmarks._common import once, publish, run_trials
 from repro.core.system import IIoTSystem, SystemConfig
 from repro.deployment.topology import line_topology
 from repro.net.stack import StackConfig
@@ -25,7 +27,11 @@ PERIOD_S = 2.0
 
 
 def _run(channel, wifi_channels, seed):
-    config = SystemConfig(stack=StackConfig(mac="csma", channel=channel))
+    config = SystemConfig(
+        stack=StackConfig(mac="csma", channel=channel),
+        # Opt-in runtime checking (transparent: results are identical).
+        invariant_checking=os.environ.get("REPRO_BENCH_CHECK") == "1",
+    )
     system = IIoTSystem.build(line_topology(5), config=config, seed=seed)
     system.start()
     system.run(180.0)
@@ -56,26 +62,30 @@ def _run(channel, wifi_channels, seed):
     collisions = sum(
         1 for r in system.trace.query("radio.collision", since=start)
     )
+    if system.checkers is not None:
+        system.checkers.finish()
+        system.checkers.detach()
+        system.checkers.assert_clean()
     return len(delivered) / PACKETS, collisions
 
 
+TENANT_SETS = [
+    ("no tenants", 18, ()),
+    ("1 tenant (wifi ch 6)", 18, (6,)),
+    ("2 tenants (wifi ch 6)", 18, (6, 6)),
+    ("3 tenants (wifi ch 6)", 18, (6, 6, 6)),
+    ("3 tenants + retune to ch 26", 26, (6, 6, 6)),
+]
+
+
 def run_e6():
-    rows = []
-    tenant_sets = [
-        ("no tenants", 18, ()),
-        ("1 tenant (wifi ch 6)", 18, (6,)),
-        ("2 tenants (wifi ch 6)", 18, (6, 6)),
-        ("3 tenants (wifi ch 6)", 18, (6, 6, 6)),
-        ("3 tenants + retune to ch 26", 26, (6, 6, 6)),
+    results = run_trials(
+        _run, [(channel, wifi, 81) for _, channel, wifi in TENANT_SETS]
+    )
+    return [
+        {"scenario": label, "delivery ratio": prr, "collisions": collisions}
+        for (label, _, _), (prr, collisions) in zip(TENANT_SETS, results)
     ]
-    for label, channel, wifi in tenant_sets:
-        prr, collisions = _run(channel, wifi, seed=81)
-        rows.append({
-            "scenario": label,
-            "delivery ratio": prr,
-            "collisions": collisions,
-        })
-    return rows
 
 
 def bench_e6_coexistence(benchmark):

@@ -17,8 +17,10 @@ diurnal outside), occupancy 8:00–18:00, SetbackController with margin
 0–8 °C, plus a rigid always-strict thermostat as the no-setback anchor.
 """
 
-from benchmarks._common import once, publish
-from repro.core.system import IIoTSystem
+import os
+
+from benchmarks._common import once, publish, run_trials
+from repro.core.system import IIoTSystem, SystemConfig
 from repro.deployment.topology import line_topology
 from repro.devices.phenomena import DiurnalField
 from repro.safety.comfort import ComfortBand, OccupancySchedule
@@ -41,7 +43,11 @@ PRICING = RevenueModel(
 def _run_zone(controller_factory, seed):
     outside = DiurnalField(mean=4.0, amplitude=6.0, gradient_per_m=0.0,
                            phase_s=-6 * 3600.0)  # coldest pre-dawn
-    system = IIoTSystem.build(line_topology(2), seed=seed)
+    config = SystemConfig(
+        # Opt-in runtime checking (transparent: results are identical).
+        invariant_checking=os.environ.get("REPRO_BENCH_CHECK") == "1",
+    )
+    system = IIoTSystem.build(line_topology(2), config=config, seed=seed)
     system.start()
     system.run(60.0)
     zone = HvacZone(system.nodes[1],
@@ -55,29 +61,38 @@ def _run_zone(controller_factory, seed):
         violation_degree_hours=zone.comfort.violation_degree_hours,
         worst_violation_c=zone.comfort.worst_violation_c,
     )
+    if system.checkers is not None:
+        system.checkers.finish()
+        system.checkers.detach()
+        system.checkers.assert_clean()
     return zone, statement
 
 
+#: ``None`` is the rigid always-strict thermostat anchor.
+MARGINS = (None, 1.0, 2.0, 4.0, 6.0, 8.0)
+
+
+def _trial(margin, seed):
+    """Module-level trial (one policy, one seed) so trials parallelize."""
+    if margin is None:
+        label = "strict thermostat"
+        factory = lambda: BangBangController(BAND)  # noqa: E731
+    else:
+        label = f"setback {margin:.0f} C"
+        factory = lambda: SetbackController(  # noqa: E731
+            BAND, SCHEDULE, setback_margin_c=margin)
+    zone, statement = _run_zone(factory, seed)
+    return {
+        "policy": label,
+        "energy [kWh]": zone.zone.energy_used_kwh,
+        "violation [deg-h]": zone.comfort.violation_degree_hours,
+        "worst viol [C]": zone.comfort.worst_violation_c,
+        "net revenue/day": statement.net_per_day,
+    }
+
+
 def run_e8():
-    rows = []
-    scenarios = [("strict thermostat",
-                  lambda: BangBangController(BAND))]
-    for margin in (1.0, 2.0, 4.0, 6.0, 8.0):
-        scenarios.append((
-            f"setback {margin:.0f} C",
-            (lambda m: lambda: SetbackController(
-                BAND, SCHEDULE, setback_margin_c=m))(margin),
-        ))
-    for label, factory in scenarios:
-        zone, statement = _run_zone(factory, seed=101)
-        rows.append({
-            "policy": label,
-            "energy [kWh]": zone.zone.energy_used_kwh,
-            "violation [deg-h]": zone.comfort.violation_degree_hours,
-            "worst viol [C]": zone.comfort.worst_violation_c,
-            "net revenue/day": statement.net_per_day,
-        })
-    return rows
+    return run_trials(_trial, [(margin, 101) for margin in MARGINS])
 
 
 def bench_e8_hvac_safety(benchmark):

@@ -17,6 +17,7 @@ availability during the partition and replica convergence after heal.
 """
 
 from benchmarks._common import once, publish, run_trials
+from repro.checking.availability import reachable_fraction
 from repro.core.system import IIoTSystem
 from repro.crdt.maps import LWWMap
 from repro.crdt.replication import AntiEntropyConfig, CrdtReplica, NetworkReplicator
@@ -36,6 +37,16 @@ def _build(seed):
     return system
 
 
+def _probe_reachability(system):
+    """Sample the root-reachable fraction halfway through the partition."""
+    reach = []
+    system.sim.schedule(
+        PARTITION_S / 2.0,
+        lambda: reach.append(reachable_fraction(system)),
+    )
+    return reach
+
+
 def _run_cp(seed):
     system = _build(seed)
     CoordinatedStore(system.root.stack)
@@ -52,6 +63,7 @@ def _run_cp(seed):
                 (lambda c, nid: lambda: c.put(f"setpoint/{nid}", 21.0))(
                     client, node_id),
             )
+    reach = _probe_reachability(system)
     system.run(PARTITION_S + 60.0)
     cutter.heal()
     system.run(300.0)
@@ -60,6 +72,7 @@ def _run_cp(seed):
     return {
         "design": "coordinated (CP)",
         "write availability in partition": successes / operations,
+        "root-reachable in partition": reach[0],
         "replicas converged after heal": 1.0,  # single copy: trivially
         "stale replicas after heal": 0,
     }
@@ -77,6 +90,7 @@ def _run_crdt(seed):
         replicator.start()
     cutter = PartitionController(system.sim, system.medium, system.trace)
     cutter.apply(GeometricPartition(cut_x=30.0))
+    reach = _probe_reachability(system)
     writes = 0
     for replica, replicator in zip(replicas[1:], replicators[1:]):
         for k in range(int(PARTITION_S / WRITE_PERIOD_S)):
@@ -101,6 +115,7 @@ def _run_crdt(seed):
     return {
         "design": "CRDT + anti-entropy (AP)",
         "write availability in partition": 1.0,
+        "root-reachable in partition": reach[0],
         "replicas converged after heal": (len(replicas) - stale) / len(replicas),
         "stale replicas after heal": stale,
     }
@@ -127,6 +142,10 @@ def bench_e9_partitions(benchmark):
     # AP stays fully writable and fully converges after healing.
     assert ap["write availability in partition"] == 1.0
     assert ap["replicas converged after heal"] == 1.0
+    # Both designs ride the same partitioned network: the far side
+    # cannot reach the root regardless of the consistency design.
+    assert cp["root-reachable in partition"] < 1.0
+    assert cp["root-reachable in partition"] == ap["root-reachable in partition"]
 
 
 def _crdt_convergence_after_heal(period_s, seed):

@@ -70,6 +70,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "diff":
         from repro.obs.diff import diff_main
         return diff_main(argv[1:])
+    if argv and argv[0] == "dependability":
+        from repro.checking.dependability import dependability_main
+        return dependability_main(argv[1:])
     print(f"repro {__version__} — 'A Distributed Systems Perspective on "
           f"Industrial IoT' (ICDCS 2018), executable\n")
 
@@ -114,6 +117,8 @@ def main(argv=None) -> int:
           "(metrics, node health, packet + control-plane lifecycles)")
     print("Regression diff:    python -m repro diff A.json B.json "
           "--fail-on 0.05  (compare exported metrics snapshots)")
+    print("Dependability gate: python -m repro dependability  "
+          "(fault-plan scenarios + availability-axis grading)")
     return 0
 
 

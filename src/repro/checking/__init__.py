@@ -29,7 +29,17 @@ never draw from the simulation's RNG, and never emit into the shared
 produces exactly the trace the same seed produces without them.
 """
 
-from repro.checking.base import CheckerSuite, InvariantChecker, Violation
+from repro.checking.availability import (
+    AvailabilityChecker,
+    reachable_fraction,
+    service_availability,
+)
+from repro.checking.base import (
+    CheckerSuite,
+    FaultWindowMixin,
+    InvariantChecker,
+    Violation,
+)
 from repro.checking.coap import CoapExchangeChecker
 from repro.checking.crdt import CrdtLatticeChecker
 from repro.checking.macradio import CollisionAccountingChecker, RadioStateChecker
@@ -43,6 +53,7 @@ from repro.checking.sweep import (
 )
 
 __all__ = [
+    "AvailabilityChecker",
     "CheckerSuite",
     "CoapExchangeChecker",
     "CollisionAccountingChecker",
@@ -50,6 +61,7 @@ __all__ = [
     "CrdtLatticeChecker",
     "DeliveredPathChecker",
     "DodagStructureChecker",
+    "FaultWindowMixin",
     "InvariantChecker",
     "InvariantViolationError",
     "RadioStateChecker",
@@ -58,6 +70,8 @@ __all__ = [
     "SweepOutcome",
     "Violation",
     "default_suite",
+    "reachable_fraction",
+    "service_availability",
 ]
 
 
@@ -70,7 +84,9 @@ def default_suite(system) -> CheckerSuite:
     """
     suite = CheckerSuite(system.sim, system.trace)
     routers = {nid: node.stack.rpl for nid, node in system.nodes.items()}
-    suite.add(DodagStructureChecker(routers))
+    nodes = system.nodes
+    suite.add(DodagStructureChecker(routers,
+                                    alive=lambda nid: nodes[nid].alive))
     suite.add(DeliveredPathChecker(node_count=len(system.nodes)))
     suite.add(RadioStateChecker(system.medium))
     suite.add(CollisionAccountingChecker(system.medium))

@@ -84,6 +84,42 @@ class _Sampler:
             self._handle = None
 
 
+class FaultWindowMixin:
+    """Declared fault windows: periods where breaches are *expected*.
+
+    Fault-aware checkers (comfort envelope, service availability) mix
+    this in so a scenario — or a
+    :class:`~repro.faults.plan.FaultPlan` via
+    :meth:`~repro.faults.plan.FaultPlan.declare_windows` — can tell them
+    when something is deliberately broken.  Excursions inside a declared
+    window are fault consequences; the same excursion outside one is a
+    genuine violation.
+
+    State is created lazily so the mixin composes with any
+    ``__init__`` ordering.
+    """
+
+    def _windows(self) -> List[tuple]:
+        return self.__dict__.setdefault("_fault_windows", [])
+
+    def declare_fault_window(self, start_s: float, end_s: float,
+                             grace_s: float = 0.0) -> None:
+        """Declare [start, end + grace] as a period where breaches are
+        expected; ``grace_s`` covers recovery after the fault clears
+        (rooms re-heat slower than networks re-join)."""
+        if end_s < start_s:
+            raise ValueError("fault window must not end before it starts")
+        self._windows().append((start_s, end_s + grace_s))
+
+    def in_fault_window(self, time_s: float) -> bool:
+        return any(start <= time_s <= end for start, end in self._windows())
+
+    @property
+    def fault_windows(self) -> List[tuple]:
+        """The declared (start, end-including-grace) windows."""
+        return list(self._windows())
+
+
 class InvariantChecker:
     """Base class for runtime invariant checkers.
 

@@ -1,0 +1,124 @@
+"""``python -m repro dependability`` — the dependability gate.
+
+Runs the two fault-plan scenarios (:func:`hvac_safety_scenario`,
+:func:`availability_probe_scenario`) at a fixed seed, summarizes their
+fault-aware checkers, and exits nonzero when either scenario records a
+violation or the taxonomy's availability axis grades to zero.  With
+``--export`` the summary is written as a focused
+``repro.metrics/1`` snapshot — ``dependability.*`` gauges plus the run's
+``fault.injected`` counters — which ``make check-dependability`` diffs
+against a committed baseline with ``python -m repro diff --fail-on``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Tuple
+
+from repro.checking.availability import AvailabilityChecker
+from repro.checking.base import CheckerSuite, Violation
+from repro.checking.safety import ComfortEnvelopeChecker
+from repro.core.taxonomy import availability_score
+from repro.obs.registry import Registry
+
+#: The gate's fixed seed: the snapshot it exports must be byte-stable.
+GATE_SEED = 2018
+
+
+def _run_scenario(name: str, scenario, seed: int,
+                  registry: Registry) -> Tuple[List[Violation], CheckerSuite]:
+    """One scenario run, summarized into ``registry``."""
+    suite = scenario(seed)
+    violations = suite.finish()
+    suite.detach()
+
+    registry.set("dependability.violations", float(len(violations)),
+                 scenario=name)
+    for checker in suite.checkers:
+        if isinstance(checker, AvailabilityChecker):
+            registry.set("dependability.availability.mean",
+                         round(checker.mean_availability(), 6), scenario=name)
+            registry.set("dependability.availability.min",
+                         round(checker.min_availability(), 6), scenario=name)
+            registry.set("dependability.availability.reachable_mean",
+                         round(checker.mean_reachable(), 6), scenario=name)
+            registry.set("dependability.availability.score",
+                         round(availability_score(checker.mean_availability()), 6),
+                         scenario=name)
+        elif isinstance(checker, ComfortEnvelopeChecker):
+            registry.set("dependability.comfort.samples",
+                         float(checker.samples), scenario=name)
+            registry.set("dependability.comfort.fault_windows",
+                         float(len(checker.fault_windows)), scenario=name)
+
+    # Carry the run's fault telemetry into the gated snapshot, labeled
+    # by scenario, so a plan edit that changes what gets injected fails
+    # the exact-diff even when every checker stays clean.
+    obs = getattr(suite.trace, "obs", None)
+    if obs is not None:
+        for key, value in sorted(obs.registry.snapshot().counters.items(),
+                                 key=repr):
+            metric_name, labels = key
+            if metric_name == "fault.injected":
+                registry.counter(metric_name, scenario=name,
+                                 **dict(labels)).inc(value)
+    return violations, suite
+
+
+def dependability_main(argv=None) -> int:
+    from repro.checking.scenarios import (
+        availability_probe_scenario,
+        hvac_safety_scenario,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dependability",
+        description="Run the fault-plan dependability scenarios and gate "
+                     "on violations and the taxonomy availability axis.",
+    )
+    parser.add_argument("--seed", type=int, default=GATE_SEED,
+                        help=f"scenario seed (default: {GATE_SEED})")
+    parser.add_argument("--export", metavar="PATH",
+                        help="write the summary metrics snapshot "
+                             "(repro.metrics/1 JSON) to PATH")
+    args = parser.parse_args(argv)
+
+    registry = Registry()
+    failed = False
+    scenarios = [
+        ("hvac-safety", hvac_safety_scenario),
+        ("availability-probe", availability_probe_scenario),
+    ]
+    availability: Optional[float] = None
+    for name, scenario in scenarios:
+        violations, suite = _run_scenario(name, scenario, args.seed, registry)
+        verdict = "OK" if not violations else f"{len(violations)} VIOLATION(S)"
+        print(f"{name}: seed {args.seed}, {verdict}")
+        for violation in violations[:10]:
+            failed = True
+            print(f"  {violation}")
+        for checker in suite.checkers:
+            if isinstance(checker, AvailabilityChecker):
+                availability = checker.mean_availability()
+                print(f"  service availability: mean "
+                      f"{availability:.4f}, min "
+                      f"{checker.min_availability():.4f}, reachable mean "
+                      f"{checker.mean_reachable():.4f}")
+
+    if availability is None:
+        print("availability axis: NOT MEASURED")
+        failed = True
+    else:
+        score = availability_score(availability)
+        print(f"availability axis score: {score:.3f} "
+              f"(grade anchors: 0.999 good, 0.900 bad)")
+        if score <= 0.0:
+            print("availability axis grades to zero — gate FAILED")
+            failed = True
+
+    if args.export:
+        from repro.obs.export import write_metrics_json
+        series = write_metrics_json(registry.snapshot(), args.export)
+        print(f"exported {series} series -> {args.export}")
+
+    return 1 if failed else 0

@@ -24,7 +24,7 @@ periods is a genuine repair failure.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.checking.base import InvariantChecker
 from repro.net.rpl.dodag import RplRouter, RplState
@@ -72,6 +72,11 @@ class DodagStructureChecker(InvariantChecker):
         Number of consecutive samples a defect must survive before it
         is recorded.  1 flags transients too; the default 2 tolerates
         the convergence windows RPL's own loop defenses are built for.
+    alive:
+        Optional predicate ``node_id -> bool``.  A crashed node's
+        router retains its last state verbatim, which is staleness, not
+        a routing defect — dead routers are excluded from the sampled
+        graph.  ``None`` treats every router as live.
     """
 
     name = "rpl.dodag"
@@ -81,6 +86,7 @@ class DodagStructureChecker(InvariantChecker):
         routers: Dict[int, RplRouter],
         period_s: float = 30.0,
         persistence: int = 2,
+        alive: Optional[Callable[[int], bool]] = None,
     ) -> None:
         super().__init__()
         if persistence < 1:
@@ -88,6 +94,7 @@ class DodagStructureChecker(InvariantChecker):
         self.routers = routers
         self.period_s = period_s
         self.persistence = persistence
+        self._alive = alive
         self._streaks: Dict[_StreakKey, int] = {}
         self.samples = 0
 
@@ -113,12 +120,16 @@ class DodagStructureChecker(InvariantChecker):
         self._streaks = {k: v for k, v in self._streaks.items() if k in seen}
 
     # ------------------------------------------------------------------
+    def _is_alive(self, nid: int) -> bool:
+        return self._alive is None or self._alive(nid)
+
     def _joined_parent_graph(self) -> Dict[int, int]:
         return {
             nid: router.preferred_parent
             for nid, router in self.routers.items()
             if router.state is RplState.JOINED
             and router.preferred_parent is not None
+            and self._is_alive(nid)
         }
 
     def _check_parent_graph(self, seen: set) -> None:
@@ -132,11 +143,12 @@ class DodagStructureChecker(InvariantChecker):
     def _check_rank_monotonicity(self, seen: set) -> None:
         attached = (RplState.JOINED, RplState.ROOT, RplState.FLOATING_ROOT)
         for nid, router in self.routers.items():
-            if router.state is not RplState.JOINED:
+            if router.state is not RplState.JOINED or not self._is_alive(nid):
                 continue
             parent = self.routers.get(router.preferred_parent)
             if (
                 parent is None
+                or not self._is_alive(parent.node_id)
                 or parent.state not in attached
                 or parent.dodag_id != router.dodag_id
                 or parent.rank >= INFINITE_RANK
@@ -152,6 +164,8 @@ class DodagStructureChecker(InvariantChecker):
     def _check_dao_tables(self, seen: set) -> None:
         for nid, router in self.routers.items():
             if router.state not in (RplState.ROOT, RplState.FLOATING_ROOT):
+                continue
+            if not self._is_alive(nid):
                 continue
             graph = {child: entry[0] for child, entry in router.dao_table.items()}
             for cycle in _find_cycles(graph):

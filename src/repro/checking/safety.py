@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.checking.base import InvariantChecker
+from repro.checking.base import FaultWindowMixin, InvariantChecker
 from repro.safety.comfort import ComfortBand
 
 
@@ -27,7 +27,7 @@ class _WatchedZone:
     node: Optional[int]
 
 
-class ComfortEnvelopeChecker(InvariantChecker):
+class ComfortEnvelopeChecker(FaultWindowMixin, InvariantChecker):
     """Comfort excursions only inside declared fault windows.
 
     Parameters
@@ -52,7 +52,6 @@ class ComfortEnvelopeChecker(InvariantChecker):
         self.margin_c = margin_c
         self.settle_s = settle_s
         self._zones: List[_WatchedZone] = []
-        self._fault_windows: List[tuple] = []
         self.samples = 0
 
     # ------------------------------------------------------------------
@@ -67,18 +66,6 @@ class ComfortEnvelopeChecker(InvariantChecker):
         """Convenience: watch an :class:`~repro.safety.hvac.HvacZone`."""
         self.watch(zone.name, lambda: zone.zone.temperature_c, zone.band,
                    node=zone.node.node_id)
-
-    def declare_fault_window(self, start_s: float, end_s: float,
-                             grace_s: float = 0.0) -> None:
-        """Declare [start, end + grace] as a period where excursions are
-        expected; ``grace_s`` covers thermal recovery after the fault
-        clears (rooms re-heat slower than networks re-join)."""
-        if end_s < start_s:
-            raise ValueError("fault window must not end before it starts")
-        self._fault_windows.append((start_s, end_s + grace_s))
-
-    def in_fault_window(self, time_s: float) -> bool:
-        return any(start <= time_s <= end for start, end in self._fault_windows)
 
     # ------------------------------------------------------------------
     def _setup(self) -> None:

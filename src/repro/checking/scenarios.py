@@ -16,17 +16,25 @@ stay importable from :mod:`repro.core.system` without cycles.
 
 from __future__ import annotations
 
+from repro.checking.availability import AvailabilityChecker
 from repro.checking.base import CheckerSuite
 from repro.checking.crdt import CrdtLatticeChecker
+from repro.checking.safety import ComfortEnvelopeChecker
 from repro.core.system import IIoTSystem, SystemConfig
 from repro.crdt.maps import LWWMap
 from repro.crdt.replication import AntiEntropyConfig, CrdtReplica, NetworkReplicator
 from repro.deployment.topology import grid_topology
+from repro.devices.phenomena import DiurnalField
+from repro.devices.sensors import SensorFault
 from repro.faults.injector import FaultInjector
 from repro.faults.partitions import GeometricPartition, PartitionController
+from repro.faults.plan import FaultPlan
 from repro.net.rpl.dodag import RplConfig
 from repro.net.rpl.rnfd import RnfdConfig
 from repro.net.stack import StackConfig
+from repro.safety.comfort import ComfortBand, OccupancySchedule
+from repro.safety.controllers import BangBangController
+from repro.safety.hvac import HvacZone, RemoteControlLoop, RemoteHvacController
 
 #: The vertical cut used by :func:`partition_crdt_scenario` on grid(3)
 #: (columns at x = 0, 20, 40 m): two columns left, one right.
@@ -112,8 +120,124 @@ def rnfd_root_failure_scenario(seed: int) -> CheckerSuite:
     return suite
 
 
+def hvac_safety_scenario(seed: int) -> CheckerSuite:
+    """Remote-controlled HVAC zones through a declarative fault plan.
+
+    Two zones are remote-controlled from the border router with a
+    watchdog fallback; a :class:`~repro.faults.plan.FaultPlan` then
+    crashes a zone node, partitions a zone away from its controller,
+    sticks a zone sensor, and kills the border router.  The comfort
+    envelope must hold *outside* the plan's declared fault windows —
+    comfort lost while the system is healthy is a control bug.
+    """
+    config = SystemConfig(
+        # RNFD so the border-router kill is *detected* (poisoned ranks)
+        # rather than leaving stale ranks to trip the DODAG checker.
+        stack=StackConfig(
+            mac="csma",
+            rnfd_enabled=True,
+            rnfd=RnfdConfig(probe_period_s=10.0),
+            rpl=RplConfig(dao_period_s=60.0),
+        ),
+        invariant_checking=True,
+        observability=True,
+    )
+    system = IIoTSystem.build(grid_topology(3), config=config, seed=seed)
+    suite = system.checkers
+
+    system.start()
+    system.run(240.0)
+
+    band = ComfortBand(20.0, 23.0)
+    schedule = OccupancySchedule([(8.0, 18.0, 8)])
+    outside = DiurnalField(mean=4.0, amplitude=6.0, gradient_per_m=0.0,
+                           phase_s=-6 * 3600.0)
+    controller = RemoteHvacController(system.root, trace=system.trace)
+    zones = []
+    loops = []
+    for node_id in (4, 8):  # one per eventual partition side
+        zone = HvacZone(system.nodes[node_id],
+                        lambda t: outside.value_at(t, (0.0, 0.0)),
+                        band, schedule=schedule, initial_temp_c=21.5)
+        controller.manage(zone.name, BangBangController(band))
+        loop = RemoteControlLoop(zone, system.topology.root_id,
+                                 fallback_timeout_s=300.0)
+        zone.start()
+        loop.start()
+        zones.append(zone)
+        loops.append(loop)
+
+    comfort = ComfortEnvelopeChecker(period_s=60.0, margin_c=1.0,
+                                     settle_s=system.sim.now + 1800.0)
+    for zone in zones:
+        comfort.watch_zone(zone)
+    suite.add(comfort)
+    system.run(1800.0)
+
+    start = system.sim.now
+    plan = (
+        FaultPlan()
+        .crash(start + 600.0, 4, recover_after_s=900.0)
+        .partition(start + 3600.0, cut_x=_CUT_X, heal_after_s=1800.0)
+        .sensor_fault(start + 7200.0, 8, "zone_temp", SensorFault.STUCK,
+                      clear_after_s=900.0)
+        .kill_border_router(start + 9000.0, recover_after_s=600.0)
+    )
+    # Rooms re-heat far slower than networks re-join.
+    plan.declare_windows(comfort, grace_s=1800.0)
+    plan.install(system)
+    system.run(12_000.0)
+    return suite
+
+
+def availability_probe_scenario(seed: int) -> CheckerSuite:
+    """Service availability through a partition/crash cycle.
+
+    The border router plus a standby endpoint on the far side of the
+    cut keep both partition halves served, so service availability —
+    the taxonomy's availability axis — stays near 1.0 while raw
+    delivery through the cut collapses.  A brief standby-endpoint crash
+    inside the partition window is the genuine (declared) downtime.
+    """
+    config = SystemConfig(
+        stack=StackConfig(mac="csma"),
+        invariant_checking=True,
+        observability=True,
+    )
+    system = IIoTSystem.build(grid_topology(3), config=config, seed=seed)
+    suite = system.checkers
+
+    system.start()
+    system.run(300.0)
+
+    start = system.sim.now
+    standby = 8  # right of _CUT_X on grid(3)
+    plan = (
+        FaultPlan()
+        .partition(start + 60.0, cut_x=_CUT_X, heal_after_s=600.0)
+        .crash(start + 120.0, 5, recover_after_s=300.0)
+        .crash(start + 180.0, standby, recover_after_s=240.0)
+    )
+    runtime = plan.install(system)
+    availability = AvailabilityChecker(
+        system,
+        endpoints=[system.topology.root_id, standby],
+        period_s=15.0,
+        floor=0.6,
+        settle_s=start,
+        partitions=runtime.partitions,
+    )
+    plan.declare_windows(availability, grace_s=60.0)
+    suite.add(availability)
+
+    system.run(900.0)
+    return suite
+
+
 #: name -> scenario, for the CLI and the integration sweep.
 BUILTIN_SCENARIOS = {
     "partition-crdt": partition_crdt_scenario,
     "rnfd-root-failure": rnfd_root_failure_scenario,
+    "hvac-safety": hvac_safety_scenario,
+    "availability-probe": availability_probe_scenario,
 }

@@ -112,6 +112,15 @@ def assess_scalability(
 # ----------------------------------------------------------------------
 # dependability (§V)
 # ----------------------------------------------------------------------
+def availability_score(service_availability: float) -> float:
+    """The taxonomy's availability grade: "three nines" scores 1.0,
+    anything at or below 90 % scores 0.  Shared by
+    :func:`assess_dependability` and the dependability gate so the CLI
+    and the report cannot drift apart."""
+    return _grade(service_availability, good=0.999, bad=0.9)
+
+
+
 @dataclass(frozen=True)
 class DependabilityReport:
     """The five dependability axes of §V."""
@@ -159,7 +168,7 @@ def assess_dependability(
     )
     availability = AxisAssessment(
         axis="availability",
-        score=_grade(service_availability, good=0.999, bad=0.9),
+        score=availability_score(service_availability),
         verdict=f"service availability {service_availability:.2%}",
         evidence={"availability": service_availability},
     )

@@ -22,6 +22,7 @@ class SensorFault(enum.Enum):
     NONE = "none"
     STUCK = "stuck"          # repeats the last good value forever
     OFFSET = "offset"        # systematic bias (miscalibration)
+    DRIFT = "drift"          # bias growing since fault onset
     DEAD = "dead"            # returns None
 
 
@@ -34,6 +35,8 @@ class SensorConfig:
     #: Slow calibration drift in value units per day.
     drift_per_day: float = 0.0
     offset_fault_bias: float = 5.0
+    #: Bias growth under an injected DRIFT fault, value units per hour.
+    fault_drift_per_hour: float = 2.0
 
     def validate(self) -> None:
         if self.noise_sigma < 0:
@@ -62,14 +65,17 @@ class Sensor:
         self.fault = SensorFault.NONE
         self.readings_taken = 0
         self._last_good: Optional[float] = None
+        self._fault_since: Optional[float] = None
         self._rng = sim.substream(f"sensor.{name}.{position}")
 
     def inject_fault(self, fault: SensorFault) -> None:
         """Switch the sensor into a fault mode (diagnosis experiments)."""
         self.fault = fault
+        self._fault_since = self.sim.now if fault is not SensorFault.NONE else None
 
     def clear_fault(self) -> None:
         self.fault = SensorFault.NONE
+        self._fault_since = None
 
     def read(self) -> Optional[float]:
         """Take one measurement now; None if the sensor is dead."""
@@ -83,6 +89,9 @@ class Sensor:
         value += self.config.drift_per_day * (self.sim.now / 86_400.0)
         if self.fault is SensorFault.OFFSET:
             value += self.config.offset_fault_bias
+        if self.fault is SensorFault.DRIFT and self._fault_since is not None:
+            hours = (self.sim.now - self._fault_since) / 3600.0
+            value += self.config.fault_drift_per_hour * hours
         if self.config.quantization > 0:
             steps = round(value / self.config.quantization)
             value = steps * self.config.quantization

@@ -4,18 +4,41 @@
   crash/recover at chosen times, sensor faults, border-router kill;
 - :mod:`repro.faults.failures` — stochastic MTBF/MTTR failure processes
   driving the reliability and availability metrics;
-- :mod:`repro.faults.partitions` — geometric network partitions through
-  the medium's link filter, and their healing.
+- :mod:`repro.faults.partitions` — geometric network partitions and
+  per-link blocks through the medium's link filter, and their healing;
+- :mod:`repro.faults.plan` — declarative, seed-deterministic fault
+  plans compiling onto the primitives above, with checker fault-window
+  declaration and ``fault.*`` observability built in.
 """
 
 from repro.faults.failures import FailureProcess, FailureProcessConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.partitions import GeometricPartition, PartitionController
+from repro.faults.plan import (
+    BORDER_ROUTER,
+    CrashClause,
+    FaultPlan,
+    FaultPlanRuntime,
+    InterferenceClause,
+    LinkFlapClause,
+    PartitionClause,
+    RandomCrashesClause,
+    SensorClause,
+)
 
 __all__ = [
+    "BORDER_ROUTER",
+    "CrashClause",
     "FailureProcess",
     "FailureProcessConfig",
     "FaultInjector",
+    "FaultPlan",
+    "FaultPlanRuntime",
     "GeometricPartition",
+    "InterferenceClause",
+    "LinkFlapClause",
+    "PartitionClause",
     "PartitionController",
+    "RandomCrashesClause",
+    "SensorClause",
 ]

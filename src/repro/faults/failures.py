@@ -67,6 +67,21 @@ class FailureProcess:
     def stop(self) -> None:
         self._running = False
 
+    def drain(self) -> None:
+        """Stop, then repair everything still down — closing the
+        downtime accounting — so a bounded fault window (a
+        :class:`~repro.faults.plan.RandomCrashesClause`) ends with a
+        healthy fleet instead of nodes stranded mid-repair."""
+        self.stop()
+        for node_id in self.down_node_ids():
+            node = self.nodes[node_id]
+            node.recover()
+            self.repairs += 1
+            down_at = self._down_since.pop(node_id, self.sim.now)
+            self.downtime.append((node_id, down_at, self.sim.now))
+            self.trace.emit(self.sim.now, "fault.random_repair",
+                            node=node_id)
+
     # ------------------------------------------------------------------
     def _arm_failure(self, node: DeviceNode) -> None:
         delay = self._rng.expovariate(1.0 / self.config.mtbf_s)
@@ -78,6 +93,10 @@ class FailureProcess:
         node.fail()
         self.failures += 1
         self._down_since[node.node_id] = self.sim.now
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("fault.injected", kind="random_crash",
+                             node=node.node_id)
         self.trace.emit(self.sim.now, "fault.random_crash", node=node.node_id)
         repair_delay = self._rng.expovariate(1.0 / self.config.mttr_s)
         self.sim.schedule(repair_delay, lambda: self._repair(node))
@@ -91,6 +110,10 @@ class FailureProcess:
         self.downtime.append((node.node_id, down_at, self.sim.now))
         self.trace.emit(self.sim.now, "fault.random_repair", node=node.node_id)
         self._arm_failure(node)
+
+    def down_node_ids(self) -> List[int]:
+        """Nodes currently down because of this process."""
+        return sorted(self._down_since)
 
     # ------------------------------------------------------------------
     def node_availability(self, node_id: int, window_s: float,

@@ -45,6 +45,9 @@ class FaultInjector:
         fault = InjectedFault(time=self.sim.now, kind=kind, node=node,
                               detail=dict(detail))
         self.injected.append(fault)
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("fault.injected", kind=kind, node=node)
         self.trace.emit(self.sim.now, f"fault.{kind}", node=node, **detail)
 
     # ------------------------------------------------------------------

@@ -4,6 +4,10 @@ A partition is modelled as a physical cut: links crossing a geometric
 boundary stop carrying anything.  This is what happens when a forklift
 parks in front of the relay shelf or a firewall change kills the
 backhaul — connectivity is severed while both sides keep running.
+
+The controller is the single owner of the medium's link filter: it
+composes the geometric cut with any individually blocked links (link
+flaps), so fault plans can overlay both without clobbering each other.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ class GeometricPartition:
 
 
 class PartitionController:
-    """Applies and heals partitions on a medium."""
+    """Applies and heals partitions (and link blocks) on a medium."""
 
     def __init__(
         self,
@@ -39,12 +43,42 @@ class PartitionController:
         self.medium = medium
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self._sides: Optional[Dict[int, int]] = None
+        self._blocked_links: Set[Tuple[int, int]] = set()
         self.partitions_applied = 0
+        self.links_blocked = 0
 
     @property
     def partitioned(self) -> bool:
         return self._sides is not None
 
+    @property
+    def sides(self) -> Optional[Dict[int, int]]:
+        """Current node → side map, or None when not partitioned."""
+        return dict(self._sides) if self._sides is not None else None
+
+    # ------------------------------------------------------------------
+    def _inc_injected(self, kind: str) -> None:
+        obs = self.trace.obs
+        if obs is not None:
+            obs.registry.inc("fault.injected", kind=kind)
+
+    def _refresh_filter(self) -> None:
+        """Install one composite predicate for sides + blocked pairs."""
+        sides = self._sides
+        blocked = self._blocked_links
+        if sides is None and not blocked:
+            self.medium.set_link_filter(None)
+            return
+
+        def link_blocked(a: int, b: int) -> bool:
+            if sides is not None and sides.get(a) != sides.get(b):
+                return True
+            pair = (a, b) if a <= b else (b, a)
+            return pair in blocked
+
+        self.medium.set_link_filter(link_blocked)
+
+    # ------------------------------------------------------------------
     def apply(self, partition: GeometricPartition) -> Dict[int, int]:
         """Cut every link crossing the boundary; returns node → side."""
         sides = {
@@ -52,19 +86,18 @@ class PartitionController:
             for node_id, radio in self.medium.radios.items()
         }
         self._sides = sides
-        self.medium.set_link_filter(
-            lambda a, b: sides.get(a) != sides.get(b)
-        )
+        self._refresh_filter()
         self.partitions_applied += 1
+        self._inc_injected("partition")
         self.trace.emit(self.sim.now, "partition.applied", node=None,
                         left=sum(1 for s in sides.values() if s == 0),
                         right=sum(1 for s in sides.values() if s == 1))
         return sides
 
     def heal(self) -> None:
-        """Restore full connectivity."""
+        """Restore cross-boundary connectivity (blocked links persist)."""
         self._sides = None
-        self.medium.set_link_filter(None)
+        self._refresh_filter()
         self.trace.emit(self.sim.now, "partition.healed", node=None)
 
     def apply_at(self, time: float, partition: GeometricPartition,
@@ -74,6 +107,34 @@ class PartitionController:
         if heal_after is not None:
             self.sim.schedule_at(time + heal_after, self.heal)
 
+    # ------------------------------------------------------------------
+    def block_link(self, a: int, b: int) -> None:
+        """Sever one bidirectional link (a flapping or shadowed hop)."""
+        pair = (a, b) if a <= b else (b, a)
+        if pair in self._blocked_links:
+            return
+        self._blocked_links.add(pair)
+        self._refresh_filter()
+        self.links_blocked += 1
+        self._inc_injected("link_down")
+        self.trace.emit(self.sim.now, "partition.link_down", node=None,
+                        a=pair[0], b=pair[1])
+
+    def unblock_link(self, a: int, b: int) -> None:
+        """Restore a previously blocked link."""
+        pair = (a, b) if a <= b else (b, a)
+        if pair not in self._blocked_links:
+            return
+        self._blocked_links.discard(pair)
+        self._refresh_filter()
+        self.trace.emit(self.sim.now, "partition.link_up", node=None,
+                        a=pair[0], b=pair[1])
+
+    @property
+    def blocked_links(self) -> FrozenSet[Tuple[int, int]]:
+        return frozenset(self._blocked_links)
+
+    # ------------------------------------------------------------------
     def isolated_sides(self) -> List[Set[int]]:
         """Current side membership (empty when not partitioned)."""
         if self._sides is None:

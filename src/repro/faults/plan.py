@@ -1,0 +1,427 @@
+"""Declarative fault plans: composable, seed-deterministic fault schedules.
+
+A :class:`FaultPlan` is the declarative counterpart to hand-wiring
+:class:`~repro.faults.injector.FaultInjector`,
+:class:`~repro.faults.partitions.PartitionController`,
+:class:`~repro.faults.failures.FailureProcess` and
+:class:`~repro.radio.interference.WifiInterferer` per scenario.  A plan
+is a list of *clauses* — timed node crashes (including the border
+router), geometric partition/heal cycles, per-link flaps, sensor
+stuck/drift faults, interference bursts, and bounded stochastic
+crash/repair windows — expressed in absolute simulated time.  The same
+plan serves three consumers at once:
+
+- :meth:`FaultPlan.install` compiles the clauses onto a running
+  :class:`~repro.core.system.IIoTSystem` through the existing fault
+  primitives, returning a :class:`FaultPlanRuntime`;
+- :meth:`FaultPlan.declare_windows` feeds every clause's fault window to
+  a fault-aware checker
+  (:class:`~repro.checking.base.FaultWindowMixin`), so excursions during
+  injected faults are expected and the same excursion outside one fails
+  the run;
+- the runtime emits ``fault.<kind>`` spans spanning each clause's
+  active window plus ``fault.active`` / ``fault.injected`` metrics
+  through :mod:`repro.obs`, so every trace shows *which fault was live*
+  when a violation fired.
+
+Determinism: clause times are static, and every stochastic clause draws
+only from named kernel substreams — so a plan run is a pure function of
+the simulation seed (pinned by the jobs=1 vs jobs=N snapshot-identity
+test).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.devices.sensors import SensorFault
+from repro.faults.failures import FailureProcess, FailureProcessConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.partitions import GeometricPartition, PartitionController
+
+#: Sentinel node id: resolved to the system's border router at install.
+BORDER_ROUTER = -1
+
+
+# ----------------------------------------------------------------------
+# clauses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashClause:
+    """Crash-stop one node (``BORDER_ROUTER`` kills the root)."""
+
+    at_s: float
+    node: int
+    recover_after_s: Optional[float] = None
+
+    kind = "crash"
+
+    def window(self) -> Tuple[float, float]:
+        end = math.inf if self.recover_after_s is None \
+            else self.at_s + self.recover_after_s
+        return self.at_s, end
+
+
+@dataclass(frozen=True)
+class PartitionClause:
+    """Apply a vertical geometric cut, optionally healing later."""
+
+    at_s: float
+    cut_x: float
+    heal_after_s: Optional[float] = None
+
+    kind = "partition"
+
+    def window(self) -> Tuple[float, float]:
+        end = math.inf if self.heal_after_s is None \
+            else self.at_s + self.heal_after_s
+        return self.at_s, end
+
+
+@dataclass(frozen=True)
+class LinkFlapClause:
+    """Sever one link for ``down_s``, ``cycles`` times, ``up_s`` apart."""
+
+    at_s: float
+    a: int
+    b: int
+    down_s: float
+    cycles: int = 1
+    up_s: float = 0.0
+
+    kind = "link_flap"
+
+    def window(self) -> Tuple[float, float]:
+        period = self.down_s + self.up_s
+        return self.at_s, self.at_s + self.cycles * period - self.up_s
+
+
+@dataclass(frozen=True)
+class SensorClause:
+    """Put one sensor into a fault mode (stuck, drift, offset, dead)."""
+
+    at_s: float
+    node: int
+    sensor: str
+    mode: SensorFault = SensorFault.STUCK
+    clear_after_s: Optional[float] = None
+
+    kind = "sensor"
+
+    def window(self) -> Tuple[float, float]:
+        end = math.inf if self.clear_after_s is None \
+            else self.at_s + self.clear_after_s
+        return self.at_s, end
+
+
+@dataclass(frozen=True)
+class InterferenceClause:
+    """A co-located wide-band interferer active for ``duration_s``."""
+
+    at_s: float
+    duration_s: float
+    position: Tuple[float, float]
+    wifi_channel: int = 6
+    duty_cycle: float = 0.30
+    tx_power_dbm: float = 15.0
+    #: Interferer node id (must not collide with deployment node ids).
+    node_id: int = 950
+
+    kind = "interference"
+
+    def window(self) -> Tuple[float, float]:
+        return self.at_s, self.at_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class RandomCrashesClause:
+    """A bounded stochastic crash/repair window (exponential MTBF/MTTR).
+
+    At the window's end the process stops and any node still down is
+    recovered, so the fault window genuinely bounds the disturbance.
+    """
+
+    at_s: float
+    duration_s: float
+    mtbf_s: float = 4 * 3600.0
+    mttr_s: float = 600.0
+    spare_root: bool = True
+
+    kind = "random_crashes"
+
+    def window(self) -> Tuple[float, float]:
+        return self.at_s, self.at_s + self.duration_s
+
+
+Clause = Any  # any of the clause dataclasses above
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+class FaultPlan:
+    """An ordered, composable schedule of fault clauses.
+
+    Builder methods append a clause and return the plan, so schedules
+    read as a chain::
+
+        plan = (FaultPlan()
+                .crash(at_s=1800.0, node=5, recover_after_s=600.0)
+                .partition(at_s=4800.0, cut_x=30.0, heal_after_s=900.0))
+
+    Times are absolute simulated seconds: the scenario that owns the
+    timeline builds the plan against it.
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = ()) -> None:
+        self.clauses: List[Clause] = list(clauses)
+
+    # -- builders ------------------------------------------------------
+    def add(self, clause: Clause) -> "FaultPlan":
+        self.clauses.append(clause)
+        return self
+
+    def crash(self, at_s: float, node: int,
+              recover_after_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(CrashClause(at_s, node, recover_after_s))
+
+    def kill_border_router(self, at_s: float,
+                           recover_after_s: Optional[float] = None
+                           ) -> "FaultPlan":
+        return self.add(CrashClause(at_s, BORDER_ROUTER, recover_after_s))
+
+    def partition(self, at_s: float, cut_x: float,
+                  heal_after_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(PartitionClause(at_s, cut_x, heal_after_s))
+
+    def flap_link(self, at_s: float, a: int, b: int, down_s: float,
+                  cycles: int = 1, up_s: float = 0.0) -> "FaultPlan":
+        return self.add(LinkFlapClause(at_s, a, b, down_s, cycles, up_s))
+
+    def sensor_fault(self, at_s: float, node: int, sensor: str,
+                     mode: SensorFault = SensorFault.STUCK,
+                     clear_after_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(SensorClause(at_s, node, sensor, mode, clear_after_s))
+
+    def interference(self, at_s: float, duration_s: float,
+                     position: Tuple[float, float], wifi_channel: int = 6,
+                     duty_cycle: float = 0.30,
+                     node_id: int = 950) -> "FaultPlan":
+        return self.add(InterferenceClause(
+            at_s, duration_s, position, wifi_channel=wifi_channel,
+            duty_cycle=duty_cycle, node_id=node_id))
+
+    def random_crashes(self, at_s: float, duration_s: float,
+                       mtbf_s: float = 4 * 3600.0, mttr_s: float = 600.0,
+                       spare_root: bool = True) -> "FaultPlan":
+        return self.add(RandomCrashesClause(at_s, duration_s, mtbf_s,
+                                            mttr_s, spare_root))
+
+    def extend(self, other: "FaultPlan") -> "FaultPlan":
+        """Compose another plan's clauses into this one."""
+        self.clauses.extend(other.clauses)
+        return self
+
+    # -- declarative views ---------------------------------------------
+    def windows(self) -> List[Tuple[float, float]]:
+        """Every clause's (start, end) fault window, in clause order.
+
+        Open-ended clauses (no recovery/heal/clear) end at infinity.
+        """
+        return [clause.window() for clause in self.clauses]
+
+    def declare_windows(self, checker, grace_s: float = 0.0) -> None:
+        """Feed every clause window to a fault-aware checker
+        (:class:`~repro.checking.base.FaultWindowMixin`)."""
+        for start, end in self.windows():
+            checker.declare_fault_window(start, end, grace_s=grace_s)
+
+    def validate(self) -> None:
+        for clause in self.clauses:
+            start, end = clause.window()
+            if start < 0:
+                raise ValueError(f"{clause.kind} clause starts before t=0")
+            if end < start:
+                raise ValueError(f"{clause.kind} clause ends before it starts")
+
+    # -- compilation ---------------------------------------------------
+    def install(self, system) -> "FaultPlanRuntime":
+        """Compile onto a (typically converged) system; times already in
+        the past are rejected — the plan is a schedule, not a replay."""
+        self.validate()
+        for clause in self.clauses:
+            if clause.at_s < system.sim.now - 1e-9:
+                raise ValueError(
+                    f"{clause.kind} clause at t={clause.at_s:g} is in the "
+                    f"past (now={system.sim.now:g})"
+                )
+        return FaultPlanRuntime(self, system)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+# ----------------------------------------------------------------------
+# the runtime
+# ----------------------------------------------------------------------
+class FaultPlanRuntime:
+    """One plan compiled onto one system.
+
+    Owns the fault primitives, schedules every clause, and manages the
+    observability surface: one ``fault.<kind>`` span per clause held
+    open across its active window (stochastic crashes inside a
+    ``random_crashes`` window land as child events), and the
+    ``fault.active`` gauge tracking how many clauses are live.
+    """
+
+    def __init__(self, plan: FaultPlan, system) -> None:
+        self.plan = plan
+        self.system = system
+        self.sim = system.sim
+        self.trace = system.trace
+        self.injector = FaultInjector(system.sim, system.nodes, system.trace)
+        self.partitions = PartitionController(system.sim, system.medium,
+                                              system.trace)
+        self.failure_processes: List[FailureProcess] = []
+        self.interferers: List = []
+        self.active_clauses = 0
+        self._spans: Dict[int, Any] = {}
+        self._unsubscribes: List = []
+        for index, clause in enumerate(plan.clauses):
+            getattr(self, f"_install_{clause.kind}")(index, clause)
+
+    # -- shared window bookkeeping -------------------------------------
+    def _obs(self):
+        return self.trace.obs
+
+    def _begin(self, index: int, clause: Clause, **data: Any) -> None:
+        self.active_clauses += 1
+        obs = self._obs()
+        if obs is None:
+            return
+        obs.registry.set("fault.active", self.active_clauses)
+        if obs.spans is not None:
+            self._spans[index] = obs.spans.start(
+                None, f"fault.{clause.kind}", node=data.pop("node", None),
+                t=self.sim.now, **data)
+
+    def _end(self, index: int, **data: Any) -> None:
+        self.active_clauses -= 1
+        obs = self._obs()
+        if obs is None:
+            return
+        obs.registry.set("fault.active", self.active_clauses)
+        ctx = self._spans.get(index)
+        if ctx is not None and obs.spans is not None:
+            obs.spans.finish(ctx, self.sim.now, **data)
+
+    def _window_events(self, index: int, clause: Clause,
+                       **data: Any) -> None:
+        start, end = clause.window()
+        self.sim.schedule_at(start, lambda: self._begin(index, clause, **data))
+        if end != math.inf:
+            self.sim.schedule_at(end, lambda: self._end(index))
+
+    # -- per-clause installers -----------------------------------------
+    def _resolve(self, node: int) -> int:
+        return self.system.topology.root_id if node == BORDER_ROUTER else node
+
+    def _install_crash(self, index: int, clause: CrashClause) -> None:
+        node = self._resolve(clause.node)
+        self.injector.crash_at(clause.at_s, node,
+                               recover_after=clause.recover_after_s)
+        self._window_events(index, clause, node=node)
+
+    def _install_partition(self, index: int, clause: PartitionClause) -> None:
+        self.partitions.apply_at(clause.at_s,
+                                 GeometricPartition(cut_x=clause.cut_x),
+                                 heal_after=clause.heal_after_s)
+        self._window_events(index, clause, cut_x=clause.cut_x)
+
+    def _install_link_flap(self, index: int, clause: LinkFlapClause) -> None:
+        for cycle in range(clause.cycles):
+            down_at = clause.at_s + cycle * (clause.down_s + clause.up_s)
+            self.sim.schedule_at(
+                down_at,
+                lambda a=clause.a, b=clause.b: self.partitions.block_link(a, b))
+            self.sim.schedule_at(
+                down_at + clause.down_s,
+                lambda a=clause.a, b=clause.b: self.partitions.unblock_link(a, b))
+        self._window_events(index, clause, a=clause.a, b=clause.b,
+                            cycles=clause.cycles)
+
+    def _install_sensor(self, index: int, clause: SensorClause) -> None:
+        self.injector.sensor_fault_at(clause.at_s, clause.node, clause.sensor,
+                                      clause.mode,
+                                      clear_after=clause.clear_after_s)
+        self._window_events(index, clause, node=clause.node,
+                            sensor=clause.sensor, mode=clause.mode.value)
+
+    def _install_interference(self, index: int,
+                              clause: InterferenceClause) -> None:
+        # Imported here: repro.faults must stay importable without the
+        # radio interference module's channel tables.
+        from repro.radio.interference import InterfererConfig, WifiInterferer
+
+        def start() -> None:
+            interferer = WifiInterferer(
+                self.sim, self.system.medium, clause.node_id, clause.position,
+                config=InterfererConfig(wifi_channel=clause.wifi_channel,
+                                        duty_cycle=clause.duty_cycle,
+                                        tx_power_dbm=clause.tx_power_dbm))
+            self.interferers.append(interferer)
+            interferer.start()
+            obs = self._obs()
+            if obs is not None:
+                obs.registry.inc("fault.injected", kind="interference")
+            self.trace.emit(self.sim.now, "fault.interference", node=None,
+                            wifi_channel=clause.wifi_channel,
+                            duty=clause.duty_cycle)
+            self.sim.schedule(clause.duration_s, interferer.stop)
+
+        self.sim.schedule_at(clause.at_s, start)
+        self._window_events(index, clause, wifi_channel=clause.wifi_channel,
+                            duty=clause.duty_cycle)
+
+    def _install_random_crashes(self, index: int,
+                                clause: RandomCrashesClause) -> None:
+        process = FailureProcess(
+            self.sim, self.system.nodes,
+            config=FailureProcessConfig(mtbf_s=clause.mtbf_s,
+                                        mttr_s=clause.mttr_s,
+                                        spare_root=clause.spare_root),
+            trace=self.trace)
+        self.failure_processes.append(process)
+
+        def mirror(record) -> None:
+            # Stochastic crashes land as child events of the clause span.
+            obs = self._obs()
+            ctx = self._spans.get(index)
+            if obs is not None and obs.spans is not None and ctx is not None:
+                obs.spans.event(ctx, record.category, node=record.node,
+                                t=record.time)
+
+        self._unsubscribes.append(
+            self.trace.subscribe("fault.random_crash", mirror))
+        self._unsubscribes.append(
+            self.trace.subscribe("fault.random_repair", mirror))
+
+        self.sim.schedule_at(clause.at_s, process.start)
+        # Bound the disturbance: drain repairs anything still down.
+        self.sim.schedule_at(clause.at_s + clause.duration_s, process.drain)
+        self._window_events(index, clause, mtbf_s=clause.mtbf_s,
+                            mttr_s=clause.mttr_s)
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def injected(self) -> List:
+        """Scripted fault records (see :class:`FaultInjector`)."""
+        return self.injector.injected
+
+    def detach(self) -> None:
+        """Drop trace subscriptions (after the run, before inspection)."""
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes.clear()

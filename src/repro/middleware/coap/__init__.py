@@ -14,10 +14,16 @@ from repro.middleware.coap.message import CoapMessage, CoapOptions
 from repro.middleware.coap.resource import ObservableResource, Resource
 from repro.middleware.coap.server import CoapServer
 from repro.middleware.coap.transport import CoapTransport, TransportConfig
+from repro.middleware.coap.wire import (
+    CoapDecodeError,
+    decode_options,
+    encode_options,
+)
 
 __all__ = [
     "CoapClient",
     "CoapCode",
+    "CoapDecodeError",
     "CoapMessage",
     "CoapOptions",
     "CoapServer",
@@ -27,4 +33,6 @@ __all__ = [
     "PendingRequest",
     "Resource",
     "TransportConfig",
+    "decode_options",
+    "encode_options",
 ]

@@ -1,0 +1,200 @@
+"""RFC 7252 wire codec for the CoAP option subset the stack uses.
+
+The simulator never serializes messages — :attr:`CoapMessage.size_bytes`
+charges the encoding cost without producing bytes — but the *option*
+encoding is where RFC 7252 hides its sharp edges (delta encoding,
+13/14 extension nibbles, the reserved 15), so this module implements it
+for real: :func:`encode_options` / :func:`decode_options` round-trip a
+:class:`~repro.middleware.coap.message.CoapOptions`, and decoding
+arbitrary bytes either succeeds or raises :class:`CoapDecodeError` —
+never anything else.  The fuzz tests pin both properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.middleware.coap.message import CoapOptions
+
+#: RFC 7252 / RFC 7641 option numbers for the supported subset.
+OPTION_OBSERVE = 6
+OPTION_URI_PATH = 11
+OPTION_CONTENT_FORMAT = 12
+OPTION_MAX_AGE = 14
+
+#: CoAP Content-Format registry (the slice this stack names).
+CONTENT_FORMAT_IDS: Dict[str, int] = {
+    "text/plain": 0,
+    "application/link-format": 40,
+    "application/xml": 41,
+    "application/octet-stream": 42,
+    "application/json": 50,
+    "application/cbor": 60,
+}
+_CONTENT_FORMAT_NAMES = {v: k for k, v in CONTENT_FORMAT_IDS.items()}
+
+#: Uri-Path segment length cap (RFC 7252 table 4).
+MAX_URI_PATH_BYTES = 255
+
+
+class CoapDecodeError(ValueError):
+    """Malformed CoAP option bytes (the only decode-side exception)."""
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+def _encode_uint(value: int) -> bytes:
+    """RFC 7252 §3.2 uint option value: minimal-length big-endian."""
+    if value < 0:
+        raise ValueError("option uints are non-negative")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def _decode_uint(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def _nibble(value: int) -> Tuple[int, bytes]:
+    """Split a delta/length value into its nibble and extension bytes."""
+    if value < 13:
+        return value, b""
+    if value < 269:
+        return 13, bytes([value - 13])
+    if value < 65805:
+        return 14, (value - 269).to_bytes(2, "big")
+    raise ValueError(f"option delta/length {value} not encodable")
+
+
+def _content_format_id(name: str) -> int:
+    if name in CONTENT_FORMAT_IDS:
+        return CONTENT_FORMAT_IDS[name]
+    if name.startswith("ct/"):
+        try:
+            return int(name[3:])
+        except ValueError:
+            pass
+    raise ValueError(f"unknown content format {name!r}")
+
+
+def _content_format_name(cf_id: int) -> str:
+    return _CONTENT_FORMAT_NAMES.get(cf_id, f"ct/{cf_id}")
+
+
+# ----------------------------------------------------------------------
+# encode
+# ----------------------------------------------------------------------
+def encode_options(options: CoapOptions) -> bytes:
+    """Serialize the supported options in RFC 7252 delta encoding."""
+    entries: List[Tuple[int, bytes]] = []
+    if options.observe is not None:
+        if not 0 <= options.observe < (1 << 24):
+            raise ValueError("observe is a 24-bit uint")
+        entries.append((OPTION_OBSERVE, _encode_uint(options.observe)))
+    for segment in options.uri_path:
+        raw = segment.encode("utf-8")
+        if len(raw) > MAX_URI_PATH_BYTES:
+            raise ValueError("Uri-Path segment over 255 bytes")
+        entries.append((OPTION_URI_PATH, raw))
+    if options.content_format is not None:
+        entries.append((OPTION_CONTENT_FORMAT,
+                        _encode_uint(_content_format_id(options.content_format))))
+    if options.max_age_s is not None:
+        if options.max_age_s < 0:
+            raise ValueError("Max-Age is non-negative")
+        entries.append((OPTION_MAX_AGE, _encode_uint(int(options.max_age_s))))
+
+    out = bytearray()
+    previous = 0
+    for number, value in entries:  # entries are already number-sorted
+        delta_nibble, delta_ext = _nibble(number - previous)
+        length_nibble, length_ext = _nibble(len(value))
+        out.append((delta_nibble << 4) | length_nibble)
+        out += delta_ext
+        out += length_ext
+        out += value
+        previous = number
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# decode
+# ----------------------------------------------------------------------
+def _read_extended(data: bytes, offset: int, nibble: int,
+                   what: str) -> Tuple[int, int]:
+    """Resolve one delta/length nibble (+ extension bytes) to a value."""
+    if nibble < 13:
+        return nibble, offset
+    if nibble == 13:
+        if offset >= len(data):
+            raise CoapDecodeError(f"truncated {what} extension")
+        return data[offset] + 13, offset + 1
+    if nibble == 14:
+        if offset + 2 > len(data):
+            raise CoapDecodeError(f"truncated {what} extension")
+        return int.from_bytes(data[offset:offset + 2], "big") + 269, offset + 2
+    raise CoapDecodeError(f"{what} nibble 15 is reserved")
+
+
+def decode_options(data: bytes) -> CoapOptions:
+    """Parse option bytes back into a :class:`CoapOptions`.
+
+    Any malformation — truncation, reserved nibbles, out-of-order or
+    unknown options, bad UTF-8 — raises :class:`CoapDecodeError`.
+    """
+    uri_path: List[str] = []
+    content_format = None
+    observe = None
+    max_age_s = None
+
+    offset = 0
+    number = 0
+    while offset < len(data):
+        byte = data[offset]
+        offset += 1
+        if byte == 0xFF:
+            raise CoapDecodeError("payload marker inside option block")
+        delta, offset = _read_extended(data, offset, byte >> 4, "delta")
+        length, offset = _read_extended(data, offset, byte & 0x0F, "length")
+        if offset + length > len(data):
+            raise CoapDecodeError("truncated option value")
+        value = data[offset:offset + length]
+        offset += length
+        number += delta
+
+        if number == OPTION_OBSERVE:
+            if observe is not None:
+                raise CoapDecodeError("repeated Observe option")
+            if length > 3:
+                raise CoapDecodeError("Observe value over 3 bytes")
+            observe = _decode_uint(value)
+        elif number == OPTION_URI_PATH:
+            if length > MAX_URI_PATH_BYTES:
+                raise CoapDecodeError("Uri-Path segment over 255 bytes")
+            try:
+                uri_path.append(value.decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise CoapDecodeError(f"Uri-Path not UTF-8: {exc}") from exc
+        elif number == OPTION_CONTENT_FORMAT:
+            if content_format is not None:
+                raise CoapDecodeError("repeated Content-Format option")
+            if length > 2:
+                raise CoapDecodeError("Content-Format value over 2 bytes")
+            content_format = _content_format_name(_decode_uint(value))
+        elif number == OPTION_MAX_AGE:
+            if max_age_s is not None:
+                raise CoapDecodeError("repeated Max-Age option")
+            if length > 4:
+                raise CoapDecodeError("Max-Age value over 4 bytes")
+            max_age_s = float(_decode_uint(value))
+        else:
+            raise CoapDecodeError(f"unsupported option number {number}")
+
+    return CoapOptions(
+        uri_path=tuple(uri_path),
+        content_format=content_format,
+        observe=observe,
+        max_age_s=max_age_s,
+    )

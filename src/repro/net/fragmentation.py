@@ -82,10 +82,16 @@ class FragmentationAdapter:
         self.mtu_bytes = mtu_bytes
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self._buffers: Dict[Tuple[int, int], _ReassemblyBuffer] = {}
+        #: Recently completed (src, tag) pairs: a straggler duplicate of
+        #: an already-delivered packet must not seed a fresh buffer (and
+        #: eventually deliver twice).  Entries age out with the same
+        #: timeout as reassembly itself.
+        self._completed: Dict[Tuple[int, int], Timer] = {}
         self.packets_fragmented = 0
         self.fragments_sent = 0
         self.reassemblies = 0
         self.reassembly_failures = 0
+        self.duplicate_fragments = 0
 
     # ------------------------------------------------------------------
     # sending
@@ -180,6 +186,9 @@ class FragmentationAdapter:
         if not isinstance(payload, Fragment):
             return False
         key = (src, payload.tag)
+        if key in self._completed:
+            self.duplicate_fragments += 1
+            return True
         buffer = self._buffers.get(key)
         if buffer is None:
             timer = Timer(self.sim, lambda: self._expire(key))
@@ -192,6 +201,9 @@ class FragmentationAdapter:
         if len(buffer.fragments) == buffer.count:
             buffer.timer.cancel()
             del self._buffers[key]
+            done_timer = Timer(self.sim, lambda: self._completed.pop(key, None))
+            self._completed[key] = done_timer
+            done_timer.start(REASSEMBLY_TIMEOUT_S)
             self.reassemblies += 1
             self.trace.emit(self.sim.now, "frag.reassembled",
                             node=self.mac.radio.node_id, src=src,

@@ -127,6 +127,40 @@ def render_deltas(
     return "\n".join(lines)
 
 
+def deltas_jsonable(
+    deltas: List[MetricDelta],
+    fail_on: Optional[float],
+    exit_code: int,
+) -> Dict[str, Any]:
+    """The machine-readable diff shape behind ``repro diff --json``.
+
+    Stable interchange format ``repro.diff/1``; ``rel`` is null for
+    one-sided series (JSON has no infinity).
+    """
+    threshold = fail_on if fail_on is not None else 0.0
+    return {
+        "format": "repro.diff/1",
+        "series": len(deltas),
+        "changed": sum(1 for d in deltas if d.rel > threshold),
+        "fail_on": fail_on,
+        "exit": exit_code,
+        "deltas": [
+            {
+                "key": d.key,
+                "kind": d.kind,
+                "name": d.name,
+                "labels": dict(d.labels),
+                "a": d.a,
+                "b": d.b,
+                "rel": None if d.rel == math.inf else d.rel,
+                "one_sided": d.a is None or d.b is None,
+                "over_threshold": d.rel > threshold,
+            }
+            for d in deltas
+        ],
+    }
+
+
 def diff_main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.  Exit codes: 0 = within threshold, 1 = at least
     one series moved more than ``--fail-on``, 2 = usage/load error."""
@@ -145,21 +179,33 @@ def diff_main(argv: Optional[List[str]] = None) -> int:
                         help="show at most this many changed series")
     parser.add_argument("--show-all", action="store_true",
                         help="list every aligned series, changed or not")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full delta list as repro.diff/1 JSON "
+                             "instead of the human-readable table")
     args = parser.parse_args(argv)
 
     try:
         snap_a = load_snapshot(args.snapshot_a)
         snap_b = load_snapshot(args.snapshot_b)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}")
+        if args.json:
+            print(json.dumps({"format": "repro.diff/1", "error": str(exc),
+                              "exit": 2}))
+        else:
+            print(f"error: {exc}")
         return 2
 
     deltas = diff_snapshots(snap_a, snap_b)
     if args.filter:
         deltas = [d for d in deltas if d.name.startswith(args.filter)]
     threshold = args.fail_on if args.fail_on is not None else 0.0
-    print(render_deltas(deltas, threshold=threshold, top=args.top,
-                        show_all=args.show_all))
+    exit_code = 0
     if args.fail_on is not None and any(d.rel > args.fail_on for d in deltas):
-        return 1
-    return 0
+        exit_code = 1
+    if args.json:
+        print(json.dumps(deltas_jsonable(deltas, args.fail_on, exit_code),
+                         indent=1, sort_keys=True))
+    else:
+        print(render_deltas(deltas, threshold=threshold, top=args.top,
+                            show_all=args.show_all))
+    return exit_code

@@ -30,6 +30,8 @@ from repro.deployment.topology import grid_topology
 from repro.devices.phenomena import DiurnalField
 from repro.middleware.coap import CoapClient, CoapServer, CoapTransport
 from repro.middleware.coap.resource import CallbackResource
+from repro.devices.sensors import SensorFault
+from repro.faults.plan import FaultPlan, FaultPlanRuntime
 from repro.obs.export import export_run
 from repro.obs.health import NodeHealthSampler, health_rows
 from repro.obs.profiler import SimProfiler
@@ -48,6 +50,30 @@ class ReportRun:
     answered_traces: List[int] = field(default_factory=list)
     health: Optional[NodeHealthSampler] = None
     agg_results: List = field(default_factory=list)
+    fault_plan: Optional[FaultPlanRuntime] = None
+
+
+def _demo_fault_plan(system, traffic_s: float) -> FaultPlan:
+    """One of every scripted fault kind, scaled into the traffic window."""
+    now = system.sim.now
+    spacing = 20.0
+    side = system.topology.size ** 0.5
+    node_ids = sorted(nid for nid in system.nodes
+                      if nid != system.topology.root_id)
+    center = spacing * (side - 1) / 2.0
+    return (
+        FaultPlan()
+        .crash(now + 0.10 * traffic_s, node_ids[-1],
+               recover_after_s=0.20 * traffic_s)
+        .sensor_fault(now + 0.25 * traffic_s, node_ids[0], "temp",
+                      SensorFault.STUCK, clear_after_s=0.30 * traffic_s)
+        .partition(now + 0.40 * traffic_s, cut_x=spacing * (side - 1) - 10.0,
+                   heal_after_s=0.20 * traffic_s)
+        .flap_link(now + 0.65 * traffic_s, node_ids[0], node_ids[1],
+                   down_s=0.05 * traffic_s, cycles=2, up_s=0.05 * traffic_s)
+        .interference(now + 0.70 * traffic_s, 0.20 * traffic_s,
+                      position=(center, center))
+    )
 
 
 def run_demo(
@@ -56,6 +82,7 @@ def run_demo(
     traffic_s: float = 120.0,
     seed: int = 2018,
     profile: bool = True,
+    faults: bool = False,
 ) -> ReportRun:
     """Build, converge, and exercise one fully instrumented system."""
     config = SystemConfig(observability=True)
@@ -122,6 +149,8 @@ def run_demo(
     interval = max(1.0, traffic_s / (2 * max(1, len(targets))))
     for index, node_id in enumerate(targets):
         system.sim.schedule(index * interval, lambda n=node_id: poll(n))
+    if faults:
+        run.fault_plan = _demo_fault_plan(system, traffic_s).install(system)
     system.run(traffic_s)
 
     # Freeze end-of-run levels into the registry as gauges.
@@ -251,6 +280,27 @@ def render_report(run: ReportRun, top: int = 8) -> str:
             f"p50={percentile(lags, 0.5):.1f}s p95={percentile(lags, 0.95):.1f}s"
         )
 
+    spans = system.obs.spans
+    if spans is not None:
+        fault_spans = sorted(
+            (s for s in spans.spans.values()
+             if s.category.startswith("fault.")),
+            key=lambda s: (s.start, s.span_id),
+        )
+        if fault_spans:
+            lines.append(_section("fault timeline"))
+            lines.append(f"injected: {registry.total('fault.injected'):.0f} "
+                         f"fault events across {len(fault_spans)} spans")
+            for span in fault_spans:
+                end = f"{span.end:.0f}" if span.end is not None else "open"
+                where = f" node={span.node}" if span.node is not None else ""
+                extras = " ".join(f"{k}={v}"
+                                  for k, v in sorted(span.data.items()))
+                lines.append(
+                    f"t={span.start:.0f}..{end}s {span.category}{where}"
+                    + (f" {extras}" if extras else "")
+                )
+
     rows = health_rows(registry)
     if rows:
         lines.append(_section("node health (last sample)"))
@@ -306,6 +356,10 @@ def report_main(argv) -> int:
                         help="rows per ranked table (default: 8)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip kernel wall-time profiling")
+    parser.add_argument("--faults", action="store_true",
+                        help="drive a demo fault plan (crash, sensor fault, "
+                             "partition, link flap, interference) through "
+                             "the traffic window")
     parser.add_argument("--export", metavar="DIR",
                         help="write spans.jsonl / metrics.csv / trace.jsonl "
                              "into DIR")
@@ -314,7 +368,7 @@ def report_main(argv) -> int:
         parser.error("--side must be >= 2")
 
     run = run_demo(side=args.side, traffic_s=args.duration, seed=args.seed,
-                   profile=not args.no_profile)
+                   profile=not args.no_profile, faults=args.faults)
     print(render_report(run, top=args.top))
     if args.export:
         written: Dict[str, int] = export_run(

@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.crdt.counters import GCounter, PNCounter
 from repro.crdt.maps import LWWMap
 from repro.crdt.registers import LWWRegister
+from repro.crdt.replication import CrdtReplica
 from repro.crdt.sets import GSet, ORSet
 
 
@@ -177,3 +178,105 @@ def _make_tests():
 
 
 globals().update(_make_tests())
+
+
+# ----------------------------------------------------------------------
+# randomized gossip histories over CrdtReplica: arbitrary interleavings
+# of local operations and pairwise merges stay monotone (no delivered
+# write is ever lost) and converge once every pair has exchanged state.
+# ----------------------------------------------------------------------
+_REPLICA_IDS = (1, 2, 3)
+
+map_ops = st.tuples(st.sampled_from(["a", "b", "c"]),
+                    st.integers(min_value=0, max_value=9),
+                    st.floats(min_value=0, max_value=100, allow_nan=False))
+counter_ops = st.integers(min_value=0, max_value=20)
+
+
+def _gossip_events(op_strategy):
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("op"),
+                      st.integers(min_value=0, max_value=2), op_strategy),
+            st.tuples(st.just("merge"),
+                      st.integers(min_value=0, max_value=2),
+                      st.integers(min_value=0, max_value=2)),
+        ),
+        max_size=24,
+    )
+
+
+def _full_exchange(replicas):
+    for _ in range(2):
+        for source in replicas:
+            for sink in replicas:
+                if source is not sink:
+                    sink.absorb(source.state.copy())
+
+
+@given(events=_gossip_events(map_ops))
+@settings(max_examples=60, deadline=None)
+def test_replica_lwwmap_monotone_convergence(events):
+    replicas = [CrdtReplica(rid, LWWMap(rid)) for rid in _REPLICA_IDS]
+    for event in events:
+        if event[0] == "op":
+            _, index, (key, value, stamp) = event
+            replicas[index].mutate(
+                lambda s, k=key, v=value, t=stamp: s.set(k, v, t))
+        else:
+            _, source, sink = event
+            keys_before = set(replicas[sink].state.value())
+            replicas[sink].absorb(replicas[source].state.copy())
+            # Monotone: a merge only ever adds keys.
+            assert keys_before <= set(replicas[sink].state.value())
+    _full_exchange(replicas)
+    values = [replica.state.value() for replica in replicas]
+    assert values[0] == values[1] == values[2]
+    # Converged state is a fixed point: further absorbs report no change.
+    for source in replicas:
+        for sink in replicas:
+            if source is not sink:
+                assert sink.absorb(source.state.copy()) is False
+
+
+@given(events=_gossip_events(counter_ops))
+@settings(max_examples=60, deadline=None)
+def test_replica_gcounter_monotone_convergence(events):
+    replicas = [CrdtReplica(rid, GCounter(rid)) for rid in _REPLICA_IDS]
+    observed = [0, 0, 0]
+    total_increments = 0
+    for event in events:
+        if event[0] == "op":
+            _, index, amount = event
+            replicas[index].mutate(lambda s, a=amount: s.increment(a))
+            total_increments += amount
+        else:
+            _, source, sink = event
+            replicas[sink].absorb(replicas[source].state.copy())
+        for index, replica in enumerate(replicas):
+            # Monotone: a counter value never moves backwards.
+            assert replica.state.value() >= observed[index]
+            observed[index] = replica.state.value()
+    _full_exchange(replicas)
+    # Convergence is exact: every increment counted once, everywhere.
+    assert [r.state.value() for r in replicas] == [total_increments] * 3
+
+
+@given(events=_gossip_events(st.integers(min_value=-10, max_value=10)))
+@settings(max_examples=60, deadline=None)
+def test_replica_pncounter_converges_to_exact_sum(events):
+    replicas = [CrdtReplica(rid, PNCounter(rid)) for rid in _REPLICA_IDS]
+    total = 0
+    for event in events:
+        if event[0] == "op":
+            _, index, delta = event
+            if delta >= 0:
+                replicas[index].mutate(lambda s, d=delta: s.increment(d))
+            else:
+                replicas[index].mutate(lambda s, d=-delta: s.decrement(d))
+            total += delta
+        else:
+            _, source, sink = event
+            replicas[sink].absorb(replicas[source].state.copy())
+    _full_exchange(replicas)
+    assert [r.state.value() for r in replicas] == [total] * 3

@@ -1,0 +1,181 @@
+"""The RFC 7252 option codec: known bytes, round-trips, and decode fuzz.
+
+Three layers of assurance:
+
+- pinned encodings against hand-computed RFC 7252 byte sequences (the
+  delta/nibble arithmetic is exactly where implementations go wrong);
+- property-based round-trips: any representable ``CoapOptions`` decodes
+  back to itself;
+- fuzz: ``decode_options`` over arbitrary byte strings either returns a
+  ``CoapOptions`` or raises ``CoapDecodeError`` — never any other
+  exception, matching the module contract.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.middleware.coap.message import CoapOptions
+from repro.middleware.coap.wire import (
+    CONTENT_FORMAT_IDS,
+    CoapDecodeError,
+    decode_options,
+    encode_options,
+)
+
+
+# ----------------------------------------------------------------------
+# known byte sequences
+# ----------------------------------------------------------------------
+def test_empty_options_encode_to_nothing():
+    assert encode_options(CoapOptions()) == b""
+    assert decode_options(b"") == CoapOptions()
+
+
+def test_single_uri_path_segment():
+    # Delta 11, length 5 -> one header byte 0xB5 then the segment.
+    data = encode_options(CoapOptions(uri_path=("hello",)))
+    assert data == bytes([0xB5]) + b"hello"
+
+
+def test_known_combination_bytes():
+    options = CoapOptions(
+        uri_path=("sensors", "temp"),
+        content_format="text/plain",
+        observe=0,
+        max_age_s=60.0,
+    )
+    data = encode_options(options)
+    assert data == (
+        bytes([0x60])                     # Observe(6): delta 6, len 0
+        + bytes([0x57]) + b"sensors"      # Uri-Path(11): delta 5, len 7
+        + bytes([0x04]) + b"temp"         # Uri-Path(11): delta 0, len 4
+        + bytes([0x10])                   # Content-Format(12): text/plain=0
+        + bytes([0x21, 60])               # Max-Age(14): delta 2, len 1
+    )
+    assert decode_options(data) == options
+
+
+def test_extended_delta_and_length_nibbles():
+    # A 269-byte... no: Uri-Path caps at 255, which still exercises the
+    # 13-extension on the *length* nibble (255 = 13 + 242).
+    segment = "x" * 255
+    data = encode_options(CoapOptions(uri_path=(segment,)))
+    assert data[0] == (11 << 4) | 13
+    assert data[1] == 255 - 13
+    assert decode_options(data).uri_path == (segment,)
+
+
+def test_max_age_multibyte_uint():
+    data = encode_options(CoapOptions(max_age_s=86_400.0))
+    decoded = decode_options(data)
+    assert decoded.max_age_s == 86_400.0
+
+
+def test_unknown_content_format_uses_ct_prefix():
+    options = CoapOptions(content_format="ct/1234")
+    assert decode_options(encode_options(options)) == options
+
+
+def test_rejects_oversized_uri_segment():
+    with pytest.raises(ValueError):
+        encode_options(CoapOptions(uri_path=("y" * 256,)))
+
+
+def test_rejects_unknown_content_format_name():
+    with pytest.raises(ValueError):
+        encode_options(CoapOptions(content_format="application/nonsense"))
+
+
+@pytest.mark.parametrize("data", [
+    b"\xff",                  # payload marker inside options
+    bytes([0xD0]),            # delta nibble 13 with no extension byte
+    bytes([0xE0, 0x01]),      # delta nibble 14 with half its extension
+    bytes([0xF0]),            # reserved nibble 15
+    bytes([0x0F]),            # reserved *length* nibble 15
+    bytes([0xB5]) + b"hi",    # declared length 5, only 2 bytes present
+    bytes([0x10, 0x10]),      # delta 1 -> unknown option number 1
+    bytes([0xB1, 0xFF]),      # Uri-Path that is not UTF-8
+    bytes([0x64, 1, 2, 3, 4]),  # Observe wider than 3 bytes
+])
+def test_malformed_bytes_raise_decode_error(data):
+    with pytest.raises(CoapDecodeError):
+        decode_options(data)
+
+
+def test_repeated_singleton_options_rejected():
+    observe = encode_options(CoapOptions(observe=5))
+    # Re-encode a second Observe by hand: delta 0, same value layout.
+    repeated = observe + bytes([0x01, 5])
+    with pytest.raises(CoapDecodeError):
+        decode_options(repeated)
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+segments = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+    min_size=0, max_size=30,
+)
+options_strategy = st.builds(
+    CoapOptions,
+    uri_path=st.lists(segments, max_size=4).map(tuple),
+    content_format=st.one_of(
+        st.none(),
+        st.sampled_from(sorted(CONTENT_FORMAT_IDS)),
+        st.integers(min_value=0, max_value=65535).map(lambda n: f"ct/{n}"),
+    ),
+    observe=st.one_of(st.none(),
+                      st.integers(min_value=0, max_value=(1 << 24) - 1)),
+    # Integral Max-Age only: the wire format is a uint of seconds.
+    max_age_s=st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=2**32 - 1).map(float)),
+)
+
+
+@given(options=options_strategy)
+@settings(max_examples=300, deadline=None)
+def test_options_round_trip(options):
+    data = encode_options(options)
+    decoded = decode_options(data)
+    assert decoded.uri_path == options.uri_path
+    assert decoded.observe == options.observe
+    assert decoded.max_age_s == options.max_age_s
+    expected_format = options.content_format
+    if expected_format is not None and expected_format.startswith("ct/"):
+        # Registered ids decode to their registered names.
+        cf_id = int(expected_format[3:])
+        expected_format = next(
+            (name for name, known in CONTENT_FORMAT_IDS.items()
+             if known == cf_id), expected_format)
+    assert decoded.content_format == expected_format
+
+
+@given(data=st.binary(max_size=64))
+@settings(max_examples=500, deadline=None)
+def test_decode_never_raises_anything_else(data):
+    try:
+        decoded = decode_options(data)
+    except CoapDecodeError:
+        return
+    # Whatever decoded must re-encode and decode to the same thing
+    # (decode is a partial inverse of encode on its own image).
+    assert decode_options(encode_options(decoded)) == decoded
+
+
+@given(data=st.binary(max_size=64), options=options_strategy)
+@settings(max_examples=200, deadline=None)
+def test_truncation_and_suffix_fuzz(options, data):
+    """Valid encodings with bytes chopped off or appended still only
+    ever raise ``CoapDecodeError``."""
+    encoded = encode_options(options)
+    for cut in range(len(encoded)):
+        try:
+            decode_options(encoded[:cut])
+        except CoapDecodeError:
+            pass
+    try:
+        decode_options(encoded + data)
+    except CoapDecodeError:
+        pass

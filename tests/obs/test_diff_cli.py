@@ -141,6 +141,76 @@ class TestCliExitCodes:
         assert main(["diff", a, b, "--fail-on", "0.05"]) == 0
 
 
+class TestJsonOutput:
+    """``--json``: the machine-readable report (format repro.diff/1)."""
+
+    def _run(self, capsys, argv):
+        code = diff_main(argv)
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_schema_and_exit_zero_on_identical(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        b = write_snapshot(tmp_path / "b.json", sample_registry())
+        code, doc = self._run(capsys, [a, b, "--json", "--fail-on", "0.05"])
+        assert code == 0
+        assert doc["format"] == "repro.diff/1"
+        assert doc["exit"] == 0
+        assert doc["changed"] == 0
+        assert doc["fail_on"] == 0.05
+        assert doc["series"] == len(doc["deltas"])
+        required = {"key", "kind", "name", "labels", "a", "b", "rel",
+                    "one_sided", "over_threshold"}
+        for delta in doc["deltas"]:
+            assert required <= set(delta)
+            assert delta["rel"] == 0.0
+            assert delta["over_threshold"] is False
+
+    def test_regression_reports_exit_one_in_payload_and_return(
+            self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry(100.0))
+        b = write_snapshot(tmp_path / "b.json", sample_registry(90.0))
+        code, doc = self._run(capsys, [a, b, "--json", "--fail-on", "0.05"])
+        assert code == 1
+        assert doc["exit"] == 1
+        assert doc["changed"] == 1
+        over = [d for d in doc["deltas"] if d["over_threshold"]]
+        assert [d["key"] for d in over] == ["net.delivered{node=1}"]
+        assert over[0]["kind"] == "counter"
+        assert over[0]["labels"] == {"node": 1}
+        assert over[0]["a"] == 100.0 and over[0]["b"] == 90.0
+        assert over[0]["rel"] == pytest.approx(0.10)
+
+    def test_one_sided_series_has_null_rel(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        extra = sample_registry()
+        extra.inc("rnfd.globally_down", 1, node=2)
+        b = write_snapshot(tmp_path / "b.json", extra)
+        code, doc = self._run(capsys, [a, b, "--json"])
+        assert code == 0  # no --fail-on: report-only
+        first = doc["deltas"][0]  # one-sided sorts first
+        assert first["key"] == "rnfd.globally_down{node=2}"
+        assert first["one_sided"] is True
+        assert first["rel"] is None
+        assert first["a"] is None and first["b"] == 1.0
+
+    def test_load_failure_is_json_with_exit_two(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry())
+        code, doc = self._run(
+            capsys, [a, str(tmp_path / "absent.json"), "--json"])
+        assert code == 2
+        assert doc["format"] == "repro.diff/1"
+        assert doc["exit"] == 2
+        assert "error" in doc
+
+    def test_json_output_is_stable_across_runs(self, tmp_path, capsys):
+        a = write_snapshot(tmp_path / "a.json", sample_registry(100.0))
+        b = write_snapshot(tmp_path / "b.json",
+                           sample_registry(90.0, latency_scale=1.5))
+        _, first = self._run(capsys, [a, b, "--json", "--fail-on", "0.01"])
+        _, second = self._run(capsys, [a, b, "--json", "--fail-on", "0.01"])
+        assert first == second
+
+
 class TestBenchmarkExport:
     def test_rows_become_labeled_gauges(self):
         from benchmarks._common import rows_to_snapshot

@@ -14,6 +14,13 @@ def demo_run():
     return run_demo(side=2, converge_s=180.0, traffic_s=60.0, seed=5)
 
 
+@pytest.fixture(scope="module")
+def fault_run():
+    """The same demo with the scripted fault plan driven through it."""
+    return run_demo(side=3, converge_s=180.0, traffic_s=120.0, seed=9,
+                    profile=False, faults=True)
+
+
 class TestRunDemo:
     def test_traffic_flows_and_is_answered(self, demo_run):
         assert demo_run.requests_sent == 3  # every non-root node polled
@@ -47,6 +54,45 @@ class TestRender:
     def test_top_limits_ranked_tables(self, demo_run):
         assert len(render_report(demo_run, top=2).splitlines()) < \
             len(render_report(demo_run, top=20).splitlines())
+
+
+class TestFaultTimeline:
+    """Acceptance: every injected fault kind surfaces as a ``fault.*``
+    span in the rendered report."""
+
+    KINDS = ("crash", "sensor", "partition", "link_flap", "interference")
+
+    def test_every_plan_clause_produced_a_span(self, fault_run):
+        spans = fault_run.system.obs.spans
+        categories = {s.category for s in spans.spans.values()
+                      if s.category.startswith("fault.")}
+        assert categories == {f"fault.{kind}" for kind in self.KINDS}
+
+    def test_every_fault_span_closed_inside_the_run(self, fault_run):
+        spans = fault_run.system.obs.spans
+        for span in spans.spans.values():
+            if not span.category.startswith("fault."):
+                continue
+            assert span.end is not None and span.end > span.start
+
+    def test_rendered_report_lists_the_fault_timeline(self, fault_run):
+        text = render_report(fault_run)
+        assert "fault timeline" in text
+        for kind in self.KINDS:
+            assert f"fault.{kind}" in text
+        injected = fault_run.system.obs.registry.total("fault.injected")
+        assert f"injected: {injected:.0f} fault events across 5 spans" in text
+
+    def test_faultless_run_has_no_fault_section(self, demo_run):
+        assert "fault timeline" not in render_report(demo_run)
+
+    def test_cli_faults_flag_reaches_the_report(self, capsys):
+        assert report_main(["--side", "2", "--duration", "60",
+                            "--seed", "11", "--no-profile", "--faults"]) == 0
+        text = capsys.readouterr().out
+        assert "fault timeline" in text
+        assert "fault.crash" in text
+        assert "fault.partition" in text
 
 
 class TestCli:
