@@ -2,8 +2,8 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test check-invariants check-dependability sweep bench bench-perf \
-	report demo diff-core diff-core-baseline dependability-baseline \
-	diff-taxonomy diff-taxonomy-baseline
+	bench-perf-quick report demo diff-core diff-core-baseline \
+	dependability-baseline diff-taxonomy diff-taxonomy-baseline
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -13,10 +13,13 @@ test:
 # regressions, and the multi-seed fault sweeps. Kept separate from
 # tier-1 so its longer scenario runs don't slow the inner loop. The CLI
 # sweep runs with --jobs 2 as a standing smoke of the parallel engine
-# (outcomes are identical for every jobs count).
+# (outcomes are identical for every jobs count); REPRO_PARALLEL_FORCE=1
+# routes it through the warm worker pool even on a single-core host,
+# where the executor's serial fast-path would otherwise (correctly)
+# skip multiprocessing entirely.
 check-invariants: check-dependability
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
+	REPRO_PARALLEL_FORCE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
 
 # Dependability gate: runs the declarative fault-plan scenarios (HVAC
 # safety under a fault schedule + the availability probe) at the pinned
@@ -52,6 +55,13 @@ bench:
 BENCH_JOBS ?= 0
 bench-perf:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_core.py --jobs $(BENCH_JOBS)
+
+# Same bench at tier-1 scale: every leg runs (warm pool, sampled
+# observability, serial-vs-parallel sweep) with reduced counts, and
+# BENCH_core.json is left untouched — a seconds-long smoke that the
+# perf harness itself still works.
+bench-perf-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_core.py --jobs $(BENCH_JOBS) --quick
 
 # The observability dashboard: runs an instrumented demo deployment and
 # prints delivery metrics, latency percentiles, duty cycles, profiler

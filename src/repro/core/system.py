@@ -46,6 +46,17 @@ class SystemConfig:
     #: packet-lifecycle span tracing.  Off by default; like checking it
     #: observes without perturbing event order or RNG state.
     observability: bool = False
+    #: Fraction of span *traces* to store (1.0 = everything).  Sampling
+    #: is deterministic and derived from the run seed — never
+    #: wall-clock — and only thins stored spans: metrics stay exact and
+    #: the simulation is never perturbed.  Ignored (forced to 1.0)
+    #: under gated runs (``REPRO_BENCH_CHECK=1``).
+    span_sample_rate: float = 1.0
+    #: Ring-buffer bound on stored spans (None = unbounded).  When
+    #: full, oldest spans are evicted first, except the gated
+    #: categories in :data:`repro.obs.GATED_SPAN_CATEGORIES`, which are
+    #: never dropped.  Ignored under gated runs.
+    span_max_stored: Optional[int] = None
 
 
 class TimeSeriesStore:
@@ -98,7 +109,11 @@ class IIoTSystem:
         if config.observability:
             # Imported lazily, mirroring the checking import below.
             from repro.obs import Observability
-            self.obs = Observability()
+            self.obs = Observability(
+                span_sample_rate=config.span_sample_rate,
+                span_seed=sim.seed,
+                span_max=config.span_max_stored,
+            )
             self.obs.attach(trace)
         self._build_nodes()
         self.checkers = None

@@ -83,6 +83,14 @@ class MacLayer(abc.ABC):
         self._dedup: Dict[int, int] = {}
         radio.on_receive = self._on_phy_receive
         self._rng = sim.substream(f"mac.{radio.node_id}")
+        #: Cached ``mac.tx`` instruments ``[registry, ok_counter,
+        #: failed_counter]`` — _finish_job runs once per frame, making
+        #: it the single hottest registry callsite of an instrumented
+        #: run; holding the instruments skips the per-call label
+        #: packing.  Keyed on the registry so a re-attached
+        #: observability bundle refreshes the cache; each counter is
+        #: created lazily on its outcome's first occurrence.
+        self._tx_counters: Optional[list] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -187,8 +195,19 @@ class MacLayer(abc.ABC):
             self.stats.tx_failed += 1
         obs = self.trace.obs
         if obs is not None:
-            obs.registry.inc("mac.tx", node=self.radio.node_id,
-                             ok=success)
+            counters = self._tx_counters
+            if counters is None or counters[0] is not obs.registry:
+                counters = self._tx_counters = [obs.registry, None, None]
+            index = 1 if success else 2
+            instrument = counters[index]
+            if instrument is None:
+                # Each outcome's series registers on first occurrence
+                # only — eagerly creating both would add zero-valued
+                # ok=False series to nodes that never fail, shifting
+                # every exported snapshot against its baseline.
+                instrument = counters[index] = obs.registry.counter(
+                    "mac.tx", node=self.radio.node_id, ok=success)
+            instrument.value += 1.0
             if obs.spans is not None and job.ctx is not None:
                 obs.spans.finish(job.ctx, self.sim.now, ok=success)
         self._busy = False

@@ -42,6 +42,7 @@ from repro.sim.trace import TraceLog
 
 __all__ = [
     "Counter",
+    "GATED_SPAN_CATEGORIES",
     "Gauge",
     "Histogram",
     "MetricDelta",
@@ -56,6 +57,7 @@ __all__ = [
     "SpanTracer",
     "diff_snapshots",
     "export_run",
+    "gated_run",
     "health_rows",
     "load_snapshot",
     "read_metrics_json",
@@ -66,6 +68,31 @@ __all__ = [
 ]
 
 
+#: Span categories the storage layer must never drop: the control-plane
+#: records dependability gates grade (``rpl.parent_switch``,
+#: ``rnfd.verdict``) and every fault-plan clause span (``fault.*`` —
+#: pinned by its first dotted segment).  Repro bundles and
+#: ``make check-dependability`` read these after the fact, so a ring
+#: buffer that evicted them would silently weaken the gates.
+GATED_SPAN_CATEGORIES = frozenset({
+    "fault",
+    "rnfd.verdict",
+    "rpl.parent_switch",
+})
+
+
+def gated_run() -> bool:
+    """True when a correctness gate is driving this process.
+
+    ``REPRO_BENCH_CHECK=1`` (the invariant-asserting benchmark mode,
+    also exported by the ``make diff-core``-family gates) demands full
+    observability fidelity: sampling and ring-buffer knobs are ignored
+    so gated runs keep their exact ``events_identical`` semantics.
+    """
+    import os
+    return os.environ.get("REPRO_BENCH_CHECK") == "1"
+
+
 class Observability:
     """One run's observability state: a registry plus (optionally) spans.
 
@@ -73,12 +100,32 @@ class Observability:
     finds it as ``self.trace.obs`` and instruments itself.  ``spans``
     is None when span tracing is off — layers must check, which keeps
     metric-only runs from paying span allocation.
+
+    ``span_sample_rate`` / ``span_max`` bound what the tracer *stores*
+    (see :class:`~repro.obs.spans.SpanTracer`); metrics are never
+    sampled — counter, gauge, and histogram totals stay exact at every
+    rate.  Both knobs are ignored under :func:`gated_run`, so gates
+    always see full-fidelity spans.  ``span_seed`` should come from the
+    run's master seed: the sampling decision is derived from it and
+    never from wall-clock.
     """
 
     def __init__(self, registry: Optional[Registry] = None,
-                 spans: bool = True) -> None:
+                 spans: bool = True,
+                 span_sample_rate: float = 1.0,
+                 span_seed: int = 0,
+                 span_max: Optional[int] = None,
+                 span_pinned: Optional[frozenset] = None) -> None:
         self.registry = registry if registry is not None else Registry()
-        self.spans: Optional[SpanTracer] = SpanTracer() if spans else None
+        if gated_run():
+            span_sample_rate, span_max = 1.0, None
+        pinned = GATED_SPAN_CATEGORIES if span_pinned is None else span_pinned
+        self.spans: Optional[SpanTracer] = SpanTracer(
+            sample_rate=span_sample_rate,
+            sample_seed=span_seed,
+            max_spans=span_max,
+            pinned_categories=pinned,
+        ) if spans else None
 
     def attach(self, trace: TraceLog) -> "Observability":
         """Make this bundle visible to every layer sharing ``trace``."""

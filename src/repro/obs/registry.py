@@ -144,14 +144,28 @@ class Registry:
     # ------------------------------------------------------------------
     # one-shot conveniences (the instrumentation hot path)
     # ------------------------------------------------------------------
+    # These inline the cache probe instead of delegating to
+    # counter()/gauge()/histogram(): the delegation would re-pack the
+    # labels dict into kwargs a second time per call, and these three
+    # run once per packet/hop/frame in instrumented runs — the
+    # overhead-percentage number in BENCH_core.json is mostly them.
     def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
-        self.counter(name, **labels).inc(amount)
+        instrument = self._counter_cache.get((name, tuple(labels.items())))
+        if instrument is None:
+            instrument = self.counter(name, **labels)
+        instrument.inc(amount)
 
     def set(self, name: str, value: float, **labels: Any) -> None:
-        self.gauge(name, **labels).set(value)
+        instrument = self._gauge_cache.get((name, tuple(labels.items())))
+        if instrument is None:
+            instrument = self.gauge(name, **labels)
+        instrument.value = value
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
-        self.histogram(name, **labels).observe(value)
+        instrument = self._histogram_cache.get((name, tuple(labels.items())))
+        if instrument is None:
+            instrument = self.histogram(name, **labels)
+        instrument.values.append(value)
 
     # ------------------------------------------------------------------
     # reading

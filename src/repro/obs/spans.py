@@ -12,12 +12,27 @@ The :class:`SpanContext` handle is threaded through the stack as the
 layer that sees a context attaches its own child spans to it.  Ids are
 allocated from per-tracer counters in event-execution order, so a seeded
 run produces identical span ids run over run.
+
+Two storage knobs keep long instrumented runs cheap (both default off,
+so a plain ``SpanTracer()`` records everything, byte-identically to
+every earlier release):
+
+- **Sampling** (``sample_rate`` < 1.0) keeps a deterministic,
+  seed-derived fraction of *traces* — whole trees, never torn ones.
+  The decision hashes ``(sample_seed, trace_id)``; wall-clock and
+  global RNG state are never consulted, so a seeded run samples the
+  same traces every time, and trace *ids* advance exactly as in an
+  unsampled run.
+- **The ring buffer** (``max_spans``) bounds stored spans: once full,
+  the oldest spans are evicted first — except *pinned* categories
+  (the ones dependability gates and repro bundles grade), which are
+  never dropped no matter how old.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 class SpanContext:
@@ -99,13 +114,107 @@ class SpanNode:
 
 
 class SpanTracer:
-    """Records spans and reconstructs per-trace trees."""
+    """Records spans and reconstructs per-trace trees.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of traces to keep, in ``[0.0, 1.0]``.  1.0 (default)
+        records everything.  Sampling is per-*trace* — a kept trace
+        stores every one of its spans, so reconstructed trees are
+        always complete.
+    sample_seed:
+        Seed folded into the per-trace sampling hash.  Derive it from
+        the run's master seed: same seed, same sampled traces, every
+        run — never wall-clock, never global RNG.
+    max_spans:
+        Ring-buffer bound on *stored* spans; None (default) stores
+        unboundedly.  When full, the oldest non-pinned spans are
+        evicted first.
+    pinned_categories:
+        Categories the ring buffer must never evict (exact category or
+        its first dotted segment: ``"fault"`` pins ``"fault.crash"``).
+        These are the records dependability gates and repro bundles
+        grade; they survive even if the buffer overruns its bound.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
+        max_spans: Optional[int] = None,
+        pinned_categories: Iterable[str] = (),
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0.0, 1.0]")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError("max_spans must be >= 1 (or None)")
         self.spans: Dict[int, Span] = {}
         self._by_trace: Dict[int, List[int]] = {}
         self._next_trace = 1
         self._next_span = 1
+        self.sample_rate = sample_rate
+        self.sample_seed = sample_seed
+        self.max_spans = max_spans
+        self._pinned = frozenset(pinned_categories)
+        #: Oldest span id not yet considered for eviction.  Span ids are
+        #: allocated monotonically, so a single forward cursor finds the
+        #: eviction victim in amortized O(1).
+        self._evict_cursor = 1
+        #: Traces skipped by sampling / spans dropped by the ring.
+        self.sampled_out = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    # sampling + storage policy
+    # ------------------------------------------------------------------
+    def _trace_sampled(self, trace_id: int) -> bool:
+        """Deterministic keep/skip decision for one trace.
+
+        A splitmix-style integer hash of ``(sample_seed, trace_id)``
+        scaled against the rate: stateless, seed-derived, and uniform
+        enough that the kept fraction tracks ``sample_rate`` closely.
+        """
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        h = (trace_id * 0x9E3779B97F4A7C15 + self.sample_seed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 30
+        h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 27
+        return (h % 1_000_000) < int(self.sample_rate * 1_000_000)
+
+    def _is_pinned(self, category: str) -> bool:
+        return (category in self._pinned
+                or category.split(".", 1)[0] in self._pinned)
+
+    def _store(self, span: Span) -> None:
+        self.spans[span.span_id] = span
+        by_trace = self._by_trace.get(span.trace_id)
+        if by_trace is None:
+            by_trace = self._by_trace[span.trace_id] = []
+        by_trace.append(span.span_id)
+        if self.max_spans is not None and len(self.spans) > self.max_spans:
+            self._evict()
+
+    def _evict(self) -> None:
+        """Drop oldest non-pinned spans until back under the bound.
+
+        Pinned spans are skipped (and, once passed, never revisited —
+        they are immortal by policy, so the cursor owes them nothing).
+        If only pinned spans remain the buffer is allowed to exceed its
+        bound: gated categories outrank the memory cap.
+        """
+        while (len(self.spans) > self.max_spans
+               and self._evict_cursor < self._next_span):
+            sid = self._evict_cursor
+            self._evict_cursor += 1
+            span = self.spans.get(sid)
+            if span is None or self._is_pinned(span.category):
+                continue
+            del self.spans[sid]
+            self.evicted += 1
 
     # ------------------------------------------------------------------
     # recording
@@ -117,27 +226,42 @@ class SpanTracer:
         node: Optional[int],
         t: float,
         **data: Any,
-    ) -> SpanContext:
-        """Open a span.  ``parent=None`` starts a fresh trace."""
+    ) -> Optional[SpanContext]:
+        """Open a span.  ``parent=None`` starts a fresh trace.
+
+        Under sampling, an unsampled new trace returns ``None`` — the
+        same value every layer already treats as "no span tracing
+        here", so the whole downstream lifecycle (hops, MAC jobs,
+        airtime, per-receiver outcomes) skips span work entirely and
+        an unsampled trace costs one integer hash, total.  Pinned
+        categories bypass sampling: a ``fault.*`` or gate-graded root
+        span is recorded at any rate.
+        """
         if parent is None:
             trace_id = self._next_trace
             self._next_trace += 1
+            if not self._trace_sampled(trace_id) and not self._is_pinned(category):
+                self.sampled_out += 1
+                return None
             parent_id = None
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
         span_id = self._next_span
         self._next_span += 1
-        self.spans[span_id] = Span(span_id, trace_id, parent_id,
-                                   category, node, t, None, data)
-        by_trace = self._by_trace.get(trace_id)
-        if by_trace is None:
-            by_trace = self._by_trace[trace_id] = []
-        by_trace.append(span_id)
+        self._store(Span(span_id, trace_id, parent_id,
+                         category, node, t, None, data))
         return SpanContext(trace_id, span_id)
 
-    def finish(self, ctx: SpanContext, t: float, **data: Any) -> None:
-        """Close a span (idempotent: the first end time wins)."""
+    def finish(self, ctx: Optional[SpanContext], t: float, **data: Any) -> None:
+        """Close a span (idempotent: the first end time wins).
+
+        ``ctx=None`` — an unsampled trace's handle — is a no-op, so
+        callers can thread :meth:`start` results through without
+        re-checking sampling decisions.
+        """
+        if ctx is None:
+            return
         span = self.spans.get(ctx.span_id)
         if span is None:
             return
@@ -148,36 +272,40 @@ class SpanTracer:
 
     def event(
         self,
-        parent: SpanContext,
+        parent: Optional[SpanContext],
         category: str,
         node: Optional[int],
         t: float,
         **data: Any,
-    ) -> SpanContext:
+    ) -> Optional[SpanContext]:
         """A zero-duration child span (a point occurrence on the path).
 
         Built closed in one allocation rather than via start()+finish().
+        ``parent=None`` (unsampled trace) records nothing.
         """
+        if parent is None:
+            return None
         span_id = self._next_span
         self._next_span += 1
-        trace_id = parent.trace_id
-        self.spans[span_id] = Span(span_id, trace_id, parent.span_id,
-                                   category, node, t, t, data)
-        by_trace = self._by_trace.get(trace_id)
-        if by_trace is None:
-            by_trace = self._by_trace[trace_id] = []
-        by_trace.append(span_id)
-        return SpanContext(trace_id, span_id)
+        self._store(Span(span_id, parent.trace_id, parent.span_id,
+                         category, node, t, t, data))
+        return SpanContext(parent.trace_id, span_id)
 
     # ------------------------------------------------------------------
     # reconstruction
     # ------------------------------------------------------------------
     def trace_ids(self) -> List[int]:
-        return sorted(self._by_trace)
+        """Trace ids with at least one span still stored."""
+        return sorted(
+            trace_id for trace_id, span_ids in self._by_trace.items()
+            if any(sid in self.spans for sid in span_ids)
+        )
 
     def spans_for(self, trace_id: int) -> List[Span]:
-        """Spans of one trace in recording (event-execution) order."""
-        return [self.spans[sid] for sid in self._by_trace.get(trace_id, [])]
+        """Stored spans of one trace in recording (event-execution)
+        order.  Spans the ring buffer evicted are simply absent."""
+        return [self.spans[sid] for sid in self._by_trace.get(trace_id, [])
+                if sid in self.spans]
 
     def tree(self, trace_id: int) -> Optional[SpanNode]:
         """Rebuild one trace's span tree; None for unknown traces.
@@ -210,7 +338,9 @@ class SpanTracer:
         hits = []
         for trace_id, span_ids in sorted(self._by_trace.items()):
             for sid in span_ids:
-                span = self.spans[sid]
+                span = self.spans.get(sid)
+                if span is None:
+                    continue
                 end = span.end if span.end is not None else span.start
                 if end >= since and span.start <= until:
                     hits.append(trace_id)

@@ -5,13 +5,41 @@ Every quantitative claim in the reproduction is a sweep of independent
 arguments — so trials can run on all cores *without* giving up
 reproducibility, provided results are merged by trial index rather than
 by arrival order.  :class:`TrialExecutor` is that contract as code: it
-maps a callable over argument tuples on a process pool and yields
-results in submission order, falling back to in-process serial execution
-when parallelism cannot help (``jobs=1``, a single task) or cannot work
-(the callable or its arguments are not picklable, or we are already
-inside a worker process).
+maps a callable over argument tuples and yields results in submission
+order, falling back to in-process serial execution when parallelism
+cannot help (``jobs=1``, a tiny payload, one usable core) or cannot
+work (the callable or its arguments are not picklable, or we are
+already inside a worker process).
+
+Parallel dispatch lands on the process-wide warm :class:`WorkerPool`:
+workers fork once and are reused across every ``Sweep.run``/
+``SeedSweepRunner.run``/``run_trials`` call in the process, and tasks
+travel in auto-sized chunks — so the spawn cost that once made small
+sweeps *slower* in parallel is paid at most once per session.
 """
 
-from repro.parallel.executor import TrialExecutor, payload_picklable, resolve_jobs
+from repro.parallel.executor import (
+    TrialExecutor,
+    parallel_forced,
+    payload_picklable,
+    resolve_jobs,
+    usable_cores,
+)
+from repro.parallel.pool import (
+    WorkerPool,
+    derive_chunksize,
+    shared_pool,
+    shutdown_shared_pools,
+)
 
-__all__ = ["TrialExecutor", "payload_picklable", "resolve_jobs"]
+__all__ = [
+    "TrialExecutor",
+    "WorkerPool",
+    "derive_chunksize",
+    "parallel_forced",
+    "payload_picklable",
+    "resolve_jobs",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "usable_cores",
+]
