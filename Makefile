@@ -2,8 +2,9 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test check-invariants check-dependability sweep bench bench-perf \
-	bench-perf-quick report demo diff-core diff-core-baseline \
-	dependability-baseline diff-taxonomy diff-taxonomy-baseline
+	bench-perf-quick bench-scale bench-scale-quick report demo diff-core \
+	diff-core-baseline dependability-baseline diff-taxonomy \
+	diff-taxonomy-baseline
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -20,6 +21,8 @@ test:
 check-invariants: check-dependability
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
 	REPRO_PARALLEL_FORCE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_scale.py --identity-only >/dev/null \
+		&& echo "spatial-index identity: OK (indexed medium == brute force)"
 
 # Dependability gate: runs the declarative fault-plan scenarios (HVAC
 # safety under a fault schedule + the availability probe) at the pinned
@@ -62,6 +65,18 @@ bench-perf:
 # perf harness itself still works.
 bench-perf-quick:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_core.py --jobs $(BENCH_JOBS) --quick
+
+# The scale baseline: campus deployments at N=1k/10k/50k radios —
+# frames/sec, events/sec, an RSS proxy, and the indexed-vs-brute-force
+# speedup at N=10k (asserted >= 5x). Writes BENCH_scale.json at the
+# repo root. The identity legs (indexed medium reproduces brute force
+# byte-for-byte) also run standalone inside check-invariants.
+bench-scale:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_scale.py
+
+# Reduced counts, tier-1 time budget; leaves BENCH_scale.json alone.
+bench-scale-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_scale.py --quick
 
 # The observability dashboard: runs an instrumented demo deployment and
 # prints delivery metrics, latency percentiles, duty cycles, profiler

@@ -85,7 +85,12 @@ def _mean_parent_etx(system):
 
 
 def run_a2():
-    return [_run("mrhof", seed=191), _run("of0", seed=191)]
+    # Seed re-pinned when shadowing moved to hash-derived per-link
+    # draws (the medium's spatial-index rework): the old seed's new
+    # realization congestion-collapses under *both* objectives, which
+    # measures nothing.  42 restores the intended regime — good short
+    # links, marginal long ones.
+    return [_run("mrhof", seed=42), _run("of0", seed=42)]
 
 
 def bench_a2_objective_functions(benchmark):

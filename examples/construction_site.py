@@ -80,7 +80,6 @@ def main() -> None:
     print("site retunes to 802.15.4 channel 26 (outside the Wi-Fi mask)...")
     for node in system.nodes.values():
         node.stack.radio.channel = 26
-    system.medium._audible_cache.clear()
     system.run(120.0)
     recovered = probe_delivery(system, active[-8:])
     print(f"  probe delivery after retune: {recovered:.0%}")

@@ -24,8 +24,10 @@ Quick start::
 
 from repro.core.system import IIoTSystem, SystemConfig
 from repro.deployment.topology import (
+    CampusTopology,
     Topology,
     building_topology,
+    campus_topology,
     clustered_site_topology,
     grid_topology,
     line_topology,

@@ -57,6 +57,10 @@ class SystemConfig:
     #: categories in :data:`repro.obs.GATED_SPAN_CATEGORIES`, which are
     #: never dropped.  Ignored under gated runs.
     span_max_stored: Optional[int] = None
+    #: Allow the medium's spatial grid index (repro.radio.medium).  The
+    #: index is trace-exact, so this exists only for A/B benchmarking
+    #: against the brute-force scans.
+    medium_spatial_index: bool = True
 
 
 class TimeSeriesStore:
@@ -138,7 +142,8 @@ class IIoTSystem:
         sim = Simulator(seed=seed)
         trace = TraceLog(enabled=config.trace_enabled)
         model = link_model if link_model is not None else UnitDiskModel(radius_m=25.0)
-        medium = Medium(sim, model, trace)
+        medium = Medium(sim, model, trace,
+                        spatial_index=config.medium_spatial_index)
         return cls(sim, medium, trace, topology, config)
 
     def _build_nodes(self) -> None:

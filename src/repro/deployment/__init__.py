@@ -7,8 +7,10 @@ rollout plans that grow a deployment by orders of magnitude in stages.
 """
 
 from repro.deployment.topology import (
+    CampusTopology,
     Topology,
     building_topology,
+    campus_topology,
     clustered_site_topology,
     grid_topology,
     line_topology,
@@ -19,8 +21,10 @@ from repro.deployment.rollout import RolloutPlan, RolloutStage
 __all__ = [
     "RolloutPlan",
     "RolloutStage",
+    "CampusTopology",
     "Topology",
     "building_topology",
+    "campus_topology",
     "clustered_site_topology",
     "grid_topology",
     "line_topology",

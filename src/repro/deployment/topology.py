@@ -141,6 +141,91 @@ def clustered_site_topology(
                     name=f"site-{clusters}x{nodes_per_cluster}")
 
 
+@dataclass
+class CampusTopology(Topology):
+    """A multi-building district with one border-router domain each.
+
+    ``domains`` maps building name → the node ids deployed in it;
+    ``border_routers`` maps building name → the id of its border
+    router.  ``root_id`` (node 0) is the district root: the first
+    building's border router, through which inter-domain traffic
+    transits to the cloud tier.
+    """
+
+    domains: Dict[str, List[int]] = field(default_factory=dict)
+    border_routers: Dict[str, int] = field(default_factory=dict)
+
+    def domain_of(self, node_id: int) -> Optional[str]:
+        """The building a node belongs to (None for unknown ids)."""
+        for name, members in self.domains.items():
+            if node_id in members:
+                return name
+        return None
+
+
+def campus_topology(
+    buildings: int,
+    nodes_per_building: int,
+    building_span_m: float = 90.0,
+    building_gap_m: float = 60.0,
+    buildings_per_row: int = 4,
+    jitter_m: float = 4.0,
+    seed: int = 0,
+) -> CampusTopology:
+    """An industrial campus: a district of buildings, one domain each.
+
+    Buildings are laid out row-major on a district grid, separated by
+    ``building_gap_m`` of open ground.  Inside each building, nodes sit
+    on a near-square grid spanning ``building_span_m``, jittered by up
+    to ``jitter_m`` (deterministic in ``seed``) so link qualities are
+    not artifacts of perfect alignment.  Node ids are contiguous per
+    building — id locality mirrors spatial locality, which is also the
+    honest (hardest) layout for caches keyed by id.  The first id of
+    each block is the building's border router, placed at the building
+    corner; node 0 doubles as the district root.
+
+    Total size is exactly ``buildings * nodes_per_building``, so scale
+    benchmarks can hit round node counts.
+    """
+    if buildings < 1 or nodes_per_building < 1:
+        raise ValueError("buildings and nodes_per_building must be >= 1")
+    rng = random.Random(seed)
+    pitch = building_span_m + building_gap_m
+    side = max(1, math.ceil(math.sqrt(nodes_per_building)))
+    spacing = building_span_m / side
+    positions: Dict[int, Position] = {}
+    domains: Dict[str, List[int]] = {}
+    border_routers: Dict[str, int] = {}
+    node_id = 0
+    for b in range(buildings):
+        name = f"bldg-{b}"
+        origin_x = (b % buildings_per_row) * pitch
+        origin_y = (b // buildings_per_row) * pitch
+        members: List[int] = []
+        border_routers[name] = node_id
+        for i in range(nodes_per_building):
+            if i == 0:
+                # The border router anchors the building corner exactly:
+                # jitter would blur the domain entry point.
+                pos = (origin_x, origin_y)
+            else:
+                pos = (
+                    origin_x + (i % side) * spacing
+                    + rng.uniform(-jitter_m, jitter_m),
+                    origin_y + (i // side) * spacing
+                    + rng.uniform(-jitter_m, jitter_m),
+                )
+            positions[node_id] = pos
+            members.append(node_id)
+            node_id += 1
+        domains[name] = members
+    return CampusTopology(
+        positions, root_id=0,
+        name=f"campus-{buildings}x{nodes_per_building}",
+        domains=domains, border_routers=border_routers,
+    )
+
+
 def building_topology(
     floors: int,
     zones_per_floor: int,

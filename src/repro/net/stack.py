@@ -138,6 +138,15 @@ class NetworkStack:
             self.rnfd = RnfdAgent(sim, self.rpl, self.config.rnfd, self.trace)
         self._sockets: Dict[int, Callable[[Datagram], None]] = {}
         self.alive = True
+        #: ``[registry, sent, delivered, forwarded, dropped(no_route),
+        #: dropped(link), dropped(ttl), {port: latency histogram}]`` —
+        #: per-datagram instruments resolved once instead of through
+        #: the registry's label-tuple lookup on every packet (the MAC
+        #: ``_finish_job`` cache pattern).  Keyed by registry identity
+        #: so a fresh Observability never inherits another run's
+        #: instruments; each slot fills on first occurrence only, so no
+        #: zero-valued series appear in exported snapshots.
+        self._obs_cache: Optional[list] = None
 
     # ------------------------------------------------------------------
     # lifecycle & faults
@@ -206,6 +215,36 @@ class NetworkStack:
         return self.medium.link_prr(self.node_id, neighbor)
 
     # ------------------------------------------------------------------
+    # hot-path observability instruments
+    # ------------------------------------------------------------------
+    _SENT, _DELIVERED, _FORWARDED = 1, 2, 3
+    _DROP_SLOT = {"no_route": 4, "link": 5, "ttl": 6}
+    _LATENCY = 7
+
+    def _obs_slots(self, obs: Any) -> list:
+        cache = self._obs_cache
+        if cache is None or cache[0] is not obs.registry:
+            cache = self._obs_cache = [obs.registry, None, None, None,
+                                       None, None, None, {}]
+        return cache
+
+    def _count_datagram(self, obs: Any, slot: int, name: str, **labels: Any) -> None:
+        cache = self._obs_slots(obs)
+        instrument = cache[slot]
+        if instrument is None:
+            instrument = cache[slot] = obs.registry.counter(
+                name, node=self.node_id, **labels)
+        instrument.value += 1.0
+
+    def _observe_latency(self, obs: Any, port: int, latency: float) -> None:
+        histograms = self._obs_slots(obs)[self._LATENCY]
+        instrument = histograms.get(port)
+        if instrument is None:
+            instrument = histograms[port] = obs.registry.histogram(
+                "net.latency_s", port=port)
+        instrument.values.append(latency)
+
+    # ------------------------------------------------------------------
     # socket API
     # ------------------------------------------------------------------
     def bind(self, port: int, handler: Callable[[Datagram], None]) -> None:
@@ -255,7 +294,7 @@ class NetworkStack:
                 )
             packet.trace_ctx = ctx
             datagram.trace_ctx = ctx
-            obs.registry.inc("net.sent", node=self.node_id)
+            self._count_datagram(obs, self._SENT, "net.sent")
         self.stats.datagrams_sent += 1
         self._route(packet, done)
 
@@ -320,8 +359,8 @@ class NetworkStack:
             self.trace.emit(self.sim.now, "net.no_route", node=self.node_id,
                             dst=packet.dst)
             if obs is not None:
-                obs.registry.inc("net.dropped", node=self.node_id,
-                                 reason="no_route")
+                self._count_datagram(obs, self._DROP_SLOT["no_route"],
+                                     "net.dropped", reason="no_route")
                 if obs.spans is not None and packet.trace_ctx is not None:
                     obs.spans.finish(packet.trace_ctx, self.sim.now,
                                      dropped="no_route")
@@ -355,8 +394,8 @@ class NetworkStack:
             self.trace.emit(self.sim.now, "net.link_drop", node=self.node_id,
                             dst=packet.dst, hop=next_hop)
             if obs is not None:
-                obs.registry.inc("net.dropped", node=self.node_id,
-                                 reason="link")
+                self._count_datagram(obs, self._DROP_SLOT["link"],
+                                     "net.dropped", reason="link")
                 if obs.spans is not None and packet.trace_ctx is not None:
                     obs.spans.finish(packet.trace_ctx, self.sim.now,
                                      dropped="link")
@@ -401,9 +440,8 @@ class NetworkStack:
                         path=packet.source_route)
         obs = self.trace.obs
         if obs is not None:
-            obs.registry.inc("net.delivered", node=self.node_id)
-            obs.registry.observe("net.latency_s", latency,
-                                 port=datagram.dst_port)
+            self._count_datagram(obs, self._DELIVERED, "net.delivered")
+            self._observe_latency(obs, datagram.dst_port, latency)
             if obs.spans is not None and packet.trace_ctx is not None:
                 obs.spans.finish(packet.trace_ctx, self.sim.now,
                                  delivered=True, latency=latency,
@@ -471,13 +509,13 @@ class NetworkStack:
             self.trace.emit(self.sim.now, "net.ttl_drop", node=self.node_id,
                             dst=packet.dst)
             if obs is not None:
-                obs.registry.inc("net.dropped", node=self.node_id,
-                                 reason="ttl")
+                self._count_datagram(obs, self._DROP_SLOT["ttl"],
+                                     "net.dropped", reason="ttl")
                 if obs.spans is not None and packet.trace_ctx is not None:
                     obs.spans.finish(packet.trace_ctx, self.sim.now,
                                      dropped="ttl")
             return
         self.stats.datagrams_forwarded += 1
         if obs is not None:
-            obs.registry.inc("net.forwarded", node=self.node_id)
+            self._count_datagram(obs, self._FORWARDED, "net.forwarded")
         self._route(packet)

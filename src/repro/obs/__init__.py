@@ -108,6 +108,12 @@ class Observability:
     always see full-fidelity spans.  ``span_seed`` should come from the
     run's master seed: the sampling decision is derived from it and
     never from wall-clock.
+
+    The ``REPRO_SPAN_SAMPLE_RATE`` / ``REPRO_SPAN_MAX_STORED``
+    environment variables override the constructor knobs (except under
+    gated runs).  They exist for the ``--span-sample-rate`` CLI flags:
+    sweep trials run in worker *processes*, and the environment is the
+    only channel that reaches every worker regardless of start method.
     """
 
     def __init__(self, registry: Optional[Registry] = None,
@@ -119,6 +125,14 @@ class Observability:
         self.registry = registry if registry is not None else Registry()
         if gated_run():
             span_sample_rate, span_max = 1.0, None
+        else:
+            import os
+            env_rate = os.environ.get("REPRO_SPAN_SAMPLE_RATE")
+            if env_rate:
+                span_sample_rate = float(env_rate)
+            env_max = os.environ.get("REPRO_SPAN_MAX_STORED")
+            if env_max:
+                span_max = int(env_max)
         pinned = GATED_SPAN_CATEGORIES if span_pinned is None else span_pinned
         self.spans: Optional[SpanTracer] = SpanTracer(
             sample_rate=span_sample_rate,

@@ -83,9 +83,13 @@ def run_demo(
     seed: int = 2018,
     profile: bool = True,
     faults: bool = False,
+    span_sample_rate: float = 1.0,
+    span_max_stored: Optional[int] = None,
 ) -> ReportRun:
     """Build, converge, and exercise one fully instrumented system."""
-    config = SystemConfig(observability=True)
+    config = SystemConfig(observability=True,
+                          span_sample_rate=span_sample_rate,
+                          span_max_stored=span_max_stored)
     system = IIoTSystem.build(grid_topology(side), config=config, seed=seed)
     profiler = SimProfiler(system.sim) if profile else None
     system.add_field_sensors("temp", DiurnalField(mean=21.0))
@@ -363,12 +367,24 @@ def report_main(argv) -> int:
     parser.add_argument("--export", metavar="DIR",
                         help="write spans.jsonl / metrics.csv / trace.jsonl "
                              "into DIR")
+    parser.add_argument("--span-sample-rate", type=float, default=1.0,
+                        metavar="RATE",
+                        help="store only this fraction of span traces "
+                             "(0..1, default 1.0; metrics stay exact, "
+                             "ignored under gated runs)")
+    parser.add_argument("--span-max-stored", type=int, default=None,
+                        metavar="N",
+                        help="ring-buffer bound on stored spans")
     args = parser.parse_args(argv)
     if args.side < 2:
         parser.error("--side must be >= 2")
+    if not 0.0 <= args.span_sample_rate <= 1.0:
+        parser.error("--span-sample-rate must be in [0, 1]")
 
     run = run_demo(side=args.side, traffic_s=args.duration, seed=args.seed,
-                   profile=not args.no_profile, faults=args.faults)
+                   profile=not args.no_profile, faults=args.faults,
+                   span_sample_rate=args.span_sample_rate,
+                   span_max_stored=args.span_max_stored)
     print(render_report(run, top=args.top))
     if args.export:
         written: Dict[str, int] = export_run(

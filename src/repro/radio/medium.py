@@ -10,14 +10,47 @@ MAC protocols see a consistent channel.
 Radios also account the time they spend in each state; the device energy
 model (:mod:`repro.devices.energy`) converts those residencies into
 charge drawn, which drives the funnel-effect and lifetime experiments.
+
+Scaling: the spatial grid index
+-------------------------------
+With tens of thousands of radios the hot queries — who can hear a
+sender, is the carrier busy, which overlapping frame is strongest —
+cannot afford to visit every radio.  When the link model publishes a
+hard audible-range bound (``max_audible_range_m`` on its *own* class,
+see :mod:`repro.radio.propagation`), the medium buckets radios into
+square cells at least that large, so every query resolves against the
+3×3 cell neighborhood instead of the full population: any radio that
+could possibly be heard is in an adjacent cell by construction.
+
+The index is an *accelerator, not an approximation*: the candidate set
+is a superset of the audible set, every candidate is then evaluated with
+exactly the same model math, results are sorted by the same
+``(rssi desc, node_id)`` key, and the PRR draw order is unchanged — so
+an indexed medium reproduces the brute-force medium's event trace
+byte-for-byte (``make check-invariants`` pins this).
+
+Cache invalidation rules (the part that must not rot):
+
+- ``Radio.position`` / ``Radio.tx_power_dbm`` are properties; every
+  write bumps ``Radio.version`` and notifies the medium.
+- RSSI values are cached per directed link *stamped with both
+  endpoints' versions*; a stale stamp misses, so moves and power
+  changes can never serve old signal strengths.  The cache is cleared
+  wholesale when it exceeds ``rssi_cache_max`` entries.
+- Audible neighborhoods are cached per sender with the grid cells they
+  were computed from and those cells' versions.  Attaching or moving a
+  radio bumps only the affected cells, so distant neighborhoods
+  revalidate with an integer compare instead of rebuilding.
+- ``set_link_filter`` and model replacement invalidate everything.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.radio.propagation import LinkQualityModel, Position
 from repro.sim.kernel import Simulator
@@ -34,6 +67,15 @@ CCA_THRESHOLD_DBM = -85.0
 #: A frame survives a collision if it is this much stronger than the
 #: strongest interferer (capture effect).
 CAPTURE_MARGIN_DB = 6.0
+
+#: Grid cells are inflated this much over the model's range bound so a
+#: borderline-audible link can never straddle more than one cell edge.
+_CELL_MARGIN = 1.01
+#: With this few active transmissions, scanning the global heap is
+#: cheaper than assembling the 3×3 cell view (and equally exact).
+_SMALL_ACTIVE = 12
+#: Directed-link RSSI cache entries before a wholesale clear.
+DEFAULT_RSSI_CACHE_MAX = 262_144
 
 
 class RadioState(enum.Enum):
@@ -84,6 +126,28 @@ class _Transmission:
     addressee: Any = None
 
 
+@dataclass
+class _Neighborhood:
+    """A sender's cached audible set, with everything needed to reuse it.
+
+    ``pairs`` is the public ``audible_from`` value; ``prrs`` is the
+    aligned per-receiver reception probability so delivery skips the
+    per-frame logistic.  The version stamps implement the two-tier
+    validation described in the module docstring: a matching
+    ``world_version`` means *nothing anywhere* changed (one compare);
+    otherwise the entry is still good if its sender, the link filter,
+    and every grid cell it drew candidates from are unchanged.
+    """
+
+    pairs: List[Tuple["Radio", float]]
+    prrs: List[float]
+    world_version: int
+    sender_version: int
+    filter_version: int
+    cells: Tuple[Tuple[int, int], ...]
+    cell_versions: Tuple[int, ...]
+
+
 class Radio:
     """One node's transceiver, attached to a :class:`Medium`.
 
@@ -102,8 +166,11 @@ class Radio:
     ) -> None:
         self.medium = medium
         self.node_id = node_id
-        self.position = position
-        self.tx_power_dbm = tx_power_dbm
+        self._position = position
+        self._tx_power_dbm = tx_power_dbm
+        #: Bumped on every position/power write; caches stamp entries
+        #: with it, so stale geometry can never be served (see Medium).
+        self.version = 0
         self.channel = channel
         self.on_receive: Optional[Callable[[Frame, float], None]] = None
         self.enabled = True
@@ -115,6 +182,42 @@ class Radio:
         self.frames_received = 0
         self.bytes_sent = 0
         medium._attach(self)
+
+    # ------------------------------------------------------------------
+    # geometry / configuration (invalidation-tracked)
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Position:
+        return self._position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        old = self._position
+        if value == old:
+            return
+        self._position = value
+        self.version += 1
+        self.medium._radio_changed(self, old_position=old)
+
+    @property
+    def tx_power_dbm(self) -> float:
+        return self._tx_power_dbm
+
+    @tx_power_dbm.setter
+    def tx_power_dbm(self, value: float) -> None:
+        if value == self._tx_power_dbm:
+            return
+        self._tx_power_dbm = value
+        self.version += 1
+        self.medium._radio_changed(self)
+
+    def move_to(self, position: Position) -> None:
+        """Relocate the radio (mobility / reconfiguration experiments)."""
+        self.position = position
+
+    def set_tx_power(self, dbm: float) -> None:
+        """Change transmit power (topology-control experiments)."""
+        self.tx_power_dbm = dbm
 
     # ------------------------------------------------------------------
     # state machine
@@ -192,6 +295,12 @@ class Medium:
     trace:
         Optional trace log; the medium emits ``radio.tx``, ``radio.rx``,
         ``radio.collision``, and ``radio.miss`` records.
+    spatial_index:
+        Allow the grid index when the model supports it.  ``False``
+        forces brute-force scans — the reference the identity tests and
+        the scale benchmark compare against.
+    rssi_cache_max:
+        Directed-link RSSI cache entries before a wholesale clear.
     """
 
     def __init__(
@@ -199,9 +308,10 @@ class Medium:
         sim: Simulator,
         model: LinkQualityModel,
         trace: Optional[TraceLog] = None,
+        spatial_index: bool = True,
+        rssi_cache_max: int = DEFAULT_RSSI_CACHE_MAX,
     ) -> None:
         self.sim = sim
-        self.model = model
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.radios: Dict[int, Radio] = {}
         #: Min-heap of ``(end, seq, transmission)``: recent and in-flight
@@ -209,13 +319,118 @@ class Medium:
         self._active: List[Tuple[float, int, _Transmission]] = []
         self._active_seq = 0
         self._max_airtime = 0.0
-        self._rssi_cache: Dict[Tuple[int, int], float] = {}
-        self._audible_cache: Dict[int, List[Tuple[Radio, float]]] = {}
         self._rng = sim.substream("radio.medium")
         #: Optional fault hook: ``(sender_id, receiver_id) -> True`` cuts
         #: the link (partition experiments).  Set via set_link_filter.
         self._link_filter: Optional[Callable[[int, int], bool]] = None
+        self._spatial_index = spatial_index
+        self._rssi_cache_max = rssi_cache_max
+        #: ``(sender_id, receiver_id) -> (rssi, sender.version, receiver.version)``
+        self._rssi_cache: Dict[Tuple[int, int], Tuple[float, int, int]] = {}
+        self._neighborhoods: Dict[int, _Neighborhood] = {}
+        self._world_version = 0
+        self._filter_version = 0
+        #: ``cell -> {node_id: radio}``; None when indexing is off.
+        self._grid: Optional[Dict[Tuple[int, int], Dict[int, Radio]]] = None
+        self._cell_size = 0.0
+        self._cell_versions: Dict[Tuple[int, int], int] = {}
+        self._grid_max_tx = float("-inf")
+        #: Per-cell mirrors of ``_active`` for O(near) CCA/interference.
+        self._cell_active: Dict[Tuple[int, int], List[Tuple[float, int, _Transmission]]] = {}
+        self._cell_active_count = 0
+        self._bind_model(model)
 
+    # ------------------------------------------------------------------
+    # model binding and the spatial grid
+    # ------------------------------------------------------------------
+    def _bind_model(self, model: LinkQualityModel) -> None:
+        """Adopt ``model``: detect index capabilities, reset all caches.
+
+        Capabilities are read from the model's *own* class dict, never
+        the MRO: a subclass that overrides ``rssi_dbm`` with different
+        semantics must not inherit a range bound or batch path that no
+        longer describes it — it silently falls back to brute force.
+        """
+        self.model = model
+        self._bound_model = model
+        own = type(model).__dict__
+        self._model_range_fn = (
+            model.max_audible_range_m if "max_audible_range_m" in own else None)
+        self._model_rssi_batch = (
+            model.rssi_dbm_batch if "rssi_dbm_batch" in own else None)
+        self._model_prr_batch = (
+            model.reception_probability_batch
+            if "reception_probability_batch" in own else None)
+        self._rssi_cache.clear()
+        self._world_version += 1
+        self._rebuild_grid()
+
+    def _sync_model(self) -> None:
+        if self.model is not self._bound_model:
+            self._bind_model(self.model)
+
+    def _rebuild_grid(self) -> None:
+        """(Re)derive the cell size from the range bound and re-bucket.
+
+        Also drops every cached neighborhood: cell versions restart, so
+        old stamps must not be comparable against the new grid.
+        """
+        self._grid = None
+        self._cell_versions = {}
+        self._cell_active = {}
+        self._cell_active_count = 0
+        self._neighborhoods.clear()
+        if not self._spatial_index or self._model_range_fn is None:
+            return
+        self._grid_max_tx = max(
+            (r.tx_power_dbm for r in self.radios.values()), default=0.0)
+        range_m = self._model_range_fn(self._grid_max_tx, AUDIBLE_THRESHOLD_DBM)
+        if range_m is None or not range_m > 0 or math.isinf(range_m):
+            return
+        self._cell_size = max(range_m * _CELL_MARGIN, 1.0)
+        grid: Dict[Tuple[int, int], Dict[int, Radio]] = {}
+        for radio in self.radios.values():
+            grid.setdefault(self._cell_of(radio.position), {})[radio.node_id] = radio
+        self._grid = grid
+        if self._active:
+            self._rebuild_cell_active()
+
+    def _cell_of(self, position: Position) -> Tuple[int, int]:
+        size = self._cell_size
+        return (int(position[0] // size), int(position[1] // size))
+
+    def _bump_cell(self, cell: Tuple[int, int]) -> None:
+        self._cell_versions[cell] = self._cell_versions.get(cell, 0) + 1
+
+    def _ensure_grid_covers(self, tx_power_dbm: float) -> None:
+        """Grow the grid when a power write exceeds its sizing basis."""
+        if self._grid is None or tx_power_dbm <= self._grid_max_tx:
+            return
+        self._grid_max_tx = tx_power_dbm
+        range_m = self._model_range_fn(tx_power_dbm, AUDIBLE_THRESHOLD_DBM)
+        if range_m is None or not range_m > 0 or math.isinf(range_m):
+            # Range became unbounded: indexing is no longer sound.
+            self._grid = None
+            self._cell_active = {}
+            self._cell_active_count = 0
+            self._neighborhoods.clear()
+        elif range_m * _CELL_MARGIN > self._cell_size:
+            self._rebuild_grid()
+
+    def grid_info(self) -> Dict[str, Any]:
+        """Introspection for benchmarks and tests: index shape and caches."""
+        return {
+            "spatial_index": self._grid is not None,
+            "cell_size_m": self._cell_size if self._grid is not None else None,
+            "cells": len(self._grid) if self._grid is not None else 0,
+            "radios": len(self.radios),
+            "rssi_cache": len(self._rssi_cache),
+            "neighborhoods": len(self._neighborhoods),
+        }
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
     def set_link_filter(self, blocked: Optional[Callable[[int, int], bool]]) -> None:
         """Install (or clear, with None) a link-blocking predicate.
 
@@ -224,7 +439,9 @@ class Medium:
         experiments need.
         """
         self._link_filter = blocked
-        self._audible_cache.clear()
+        self._filter_version += 1
+        self._world_version += 1
+        self._neighborhoods.clear()
 
     def _blocked(self, sender_id: int, receiver_id: int) -> bool:
         return self._link_filter is not None and self._link_filter(
@@ -238,17 +455,53 @@ class Medium:
         if radio.node_id in self.radios:
             raise ValueError(f"duplicate radio id {radio.node_id}")
         self.radios[radio.node_id] = radio
-        self._audible_cache.clear()
+        self._world_version += 1
+        self._ensure_grid_covers(radio.tx_power_dbm)
+        if self._grid is not None:
+            cell = self._cell_of(radio.position)
+            self._grid.setdefault(cell, {})[radio.node_id] = radio
+            self._bump_cell(cell)
+
+    def _radio_changed(self, radio: Radio, old_position: Optional[Position] = None) -> None:
+        """A position (``old_position`` given) or power write happened."""
+        self._world_version += 1
+        self._neighborhoods.pop(radio.node_id, None)
+        if self._grid is None:
+            return
+        if old_position is None:
+            self._ensure_grid_covers(radio.tx_power_dbm)
+            return
+        old_cell = self._cell_of(old_position)
+        new_cell = self._cell_of(radio.position)
+        if new_cell != old_cell:
+            bucket = self._grid.get(old_cell)
+            if bucket is not None:
+                bucket.pop(radio.node_id, None)
+                if not bucket:
+                    del self._grid[old_cell]
+            self._grid.setdefault(new_cell, {})[radio.node_id] = radio
+            self._bump_cell(old_cell)
+            if self._cell_active:
+                # In-flight frames radiate from wherever the sender is
+                # *now*; re-bucket them so nearby CCA still sees them.
+                self._rebuild_cell_active()
+        self._bump_cell(new_cell)
 
     def rssi_between(self, sender: Radio, receiver: Radio) -> float:
         """Cached RSSI of ``sender`` as heard by ``receiver``."""
+        self._sync_model()
         key = (sender.node_id, receiver.node_id)
-        value = self._rssi_cache.get(key)
-        if value is None:
-            value = self.model.rssi_dbm(
-                sender.position, receiver.position, sender.tx_power_dbm
-            )
-            self._rssi_cache[key] = value
+        entry = self._rssi_cache.get(key)
+        if (entry is not None and entry[1] == sender.version
+                and entry[2] == receiver.version):
+            return entry[0]
+        value = self.model.rssi_dbm(
+            sender.position, receiver.position, sender.tx_power_dbm
+        )
+        cache = self._rssi_cache
+        if len(cache) >= self._rssi_cache_max:
+            cache.clear()
+        cache[key] = (value, sender.version, receiver.version)
         return value
 
     def audible_from(self, sender: Radio) -> List[Tuple[Radio, float]]:
@@ -259,20 +512,100 @@ class Medium:
         insertion order, so adding radios in a different order cannot
         perturb a seeded run.
         """
-        cached = self._audible_cache.get(sender.node_id)
-        if cached is None:
-            cached = []
-            for radio in self.radios.values():
-                if radio is sender:
-                    continue
-                if self._blocked(sender.node_id, radio.node_id):
-                    continue
-                rssi = self.rssi_between(sender, radio)
-                if rssi >= AUDIBLE_THRESHOLD_DBM:
-                    cached.append((radio, rssi))
-            cached.sort(key=lambda pair: (-pair[1], pair[0].node_id))
-            self._audible_cache[sender.node_id] = cached
-        return cached
+        self._sync_model()
+        return self._neighborhood(sender).pairs
+
+    def _neighborhood(self, sender: Radio) -> _Neighborhood:
+        entry = self._neighborhoods.get(sender.node_id)
+        if entry is not None:
+            if entry.world_version == self._world_version:
+                return entry
+            if (self._grid is not None
+                    and entry.sender_version == sender.version
+                    and entry.filter_version == self._filter_version
+                    and all(self._cell_versions.get(cell, 0) == version
+                            for cell, version
+                            in zip(entry.cells, entry.cell_versions))):
+                # Something changed somewhere, but not near this sender.
+                entry.world_version = self._world_version
+                return entry
+        entry = self._build_neighborhood(sender)
+        self._neighborhoods[sender.node_id] = entry
+        return entry
+
+    def _build_neighborhood(self, sender: Radio) -> _Neighborhood:
+        sender_id = sender.node_id
+        blocked = self._link_filter
+        if self._grid is not None:
+            home = self._cell_of(sender.position)
+            cells = tuple(
+                (home[0] + dx, home[1] + dy)
+                for dx in (-1, 0, 1) for dy in (-1, 0, 1))
+            cell_versions = tuple(self._cell_versions.get(c, 0) for c in cells)
+            candidates: List[Radio] = []
+            for cell in cells:
+                bucket = self._grid.get(cell)
+                if bucket:
+                    candidates.extend(bucket.values())
+        else:
+            cells = ()
+            cell_versions = ()
+            candidates = list(self.radios.values())
+
+        # Resolve candidate RSSI through the versioned cache; compute the
+        # misses in one vectorized call when the model allows it.
+        radios: List[Radio] = []
+        rssis: List[Optional[float]] = []
+        misses: List[int] = []
+        cache = self._rssi_cache
+        sender_version = sender.version
+        for radio in candidates:
+            if radio is sender:
+                continue
+            if blocked is not None and blocked(sender_id, radio.node_id):
+                continue
+            entry = cache.get((sender_id, radio.node_id))
+            if (entry is not None and entry[1] == sender_version
+                    and entry[2] == radio.version):
+                rssis.append(entry[0])
+            else:
+                misses.append(len(radios))
+                rssis.append(None)
+            radios.append(radio)
+        if misses:
+            if self._model_rssi_batch is not None and len(misses) > 1:
+                values = self._model_rssi_batch(
+                    sender.position,
+                    [radios[i].position for i in misses],
+                    sender.tx_power_dbm)
+            else:
+                values = [
+                    self.model.rssi_dbm(
+                        sender.position, radios[i].position, sender.tx_power_dbm)
+                    for i in misses]
+            if len(cache) + len(misses) > self._rssi_cache_max:
+                cache.clear()
+            for i, value in zip(misses, values):
+                rssis[i] = value
+                cache[(sender_id, radios[i].node_id)] = (
+                    value, sender_version, radios[i].version)
+
+        pairs = [(radio, rssi) for radio, rssi in zip(radios, rssis)
+                 if rssi >= AUDIBLE_THRESHOLD_DBM]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0].node_id))
+        if self._model_prr_batch is not None and len(pairs) > 1:
+            prrs = self._model_prr_batch([rssi for _, rssi in pairs])
+        else:
+            prrs = [self.model.reception_probability(rssi) for _, rssi in pairs]
+        return _Neighborhood(
+            pairs=pairs,
+            prrs=prrs,
+            world_version=self._world_version,
+            sender_version=sender_version,
+            filter_version=self._filter_version,
+            cells=cells,
+            cell_versions=cell_versions,
+        )
 
     def link_prr(self, sender_id: int, receiver_id: int) -> float:
         """Packet reception ratio of the directed link, ignoring collisions.
@@ -305,10 +638,50 @@ class Medium:
         while active and active[0][0] <= horizon:
             heapq.heappop(active)
 
+    def _rebuild_cell_active(self) -> None:
+        """Re-bucket every live transmission by its sender's current cell."""
+        self._cell_active = {}
+        self._cell_active_count = 0
+        if self._grid is None:
+            return
+        for item in self._active:
+            cell = self._cell_of(item[2].radio.position)
+            self._cell_active.setdefault(cell, []).append(item)
+            self._cell_active_count += 1
+        for heap in self._cell_active.values():
+            heapq.heapify(heap)
+
+    def _active_near(self, position: Position, now: float) -> Iterator[_Transmission]:
+        """Transmissions that could possibly be audible at ``position``.
+
+        Falls back to the (exact, identical) global scan when indexing
+        is off or the active set is small; otherwise only the 3×3 cell
+        neighborhood's heaps are visited.  Any transmission audible at
+        ``position`` radiates from within the range bound, hence from an
+        adjacent cell — the candidate set is a superset either way.
+        """
+        if self._grid is None or len(self._active) <= _SMALL_ACTIVE:
+            for item in self._active:
+                yield item[2]
+            return
+        home_x, home_y = self._cell_of(position)
+        horizon = now - self._max_airtime
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                heap = self._cell_active.get((home_x + dx, home_y + dy))
+                if not heap:
+                    continue
+                while heap and heap[0][0] <= horizon:
+                    heapq.heappop(heap)
+                    self._cell_active_count -= 1
+                for item in heap:
+                    yield item[2]
+
     def carrier_busy(self, radio: Radio) -> bool:
         """True if any audible transmission occupies ``radio``'s channel."""
+        self._sync_model()
         now = self.sim.now
-        for _end, _seq, tx in self._active:
+        for tx in self._active_near(radio.position, now):
             if tx.end <= now or tx.radio is radio:
                 continue
             if not tx.frame.interferes_with(radio.channel):
@@ -330,6 +703,7 @@ class Medium:
             raise RuntimeError(f"radio {radio.node_id} is disabled (node failed)")
         if radio.state is RadioState.TX:
             raise RuntimeError(f"radio {radio.node_id} already transmitting")
+        self._sync_model()
         now = self.sim.now
         airtime = frame.airtime
         if airtime > self._max_airtime:
@@ -345,19 +719,38 @@ class Medium:
                                           size=frame.size_bytes)
                 tx.addressee = getattr(frame.payload, "dst", None)
         self._active_seq += 1
-        heapq.heappush(self._active, (tx.end, self._active_seq, tx))
+        item = (tx.end, self._active_seq, tx)
+        heapq.heappush(self._active, item)
+        if self._grid is not None:
+            cell = self._cell_of(radio.position)
+            heap = self._cell_active.setdefault(cell, [])
+            horizon = now - self._max_airtime
+            while heap and heap[0][0] <= horizon:
+                heapq.heappop(heap)
+                self._cell_active_count -= 1
+            heapq.heappush(heap, item)
+            self._cell_active_count += 1
+            if self._cell_active_count > 2 * len(self._active) + 32:
+                # Untouched cells accumulate expired entries; rebuild
+                # from the (already pruned) global heap to re-bound them.
+                self._rebuild_cell_active()
         radio._set_state(RadioState.TX)
         radio.frames_sent += 1
         radio.bytes_sent += frame.size_bytes
         self.trace.emit(now, "radio.tx", node=radio.node_id, size=frame.size_bytes,
                         channel=frame.channel)
 
-        receivers = [] if frame.jam_channels else list(self.audible_from(radio))
+        if frame.jam_channels:
+            receivers: List[Tuple[Radio, float, float]] = []
+        else:
+            neighborhood = self._neighborhood(radio)
+            receivers = [(receiver, rssi, prr) for (receiver, rssi), prr
+                         in zip(neighborhood.pairs, neighborhood.prrs)]
 
         def finish() -> None:
             radio._set_state(RadioState.LISTEN)
-            for receiver, rssi in receivers:
-                self._try_deliver(tx, receiver, rssi)
+            for receiver, rssi, prr in receivers:
+                self._try_deliver(tx, receiver, rssi, prr)
             if tx.span is not None:
                 self.trace.obs.spans.finish(tx.span, self.sim.now)
             if done is not None:
@@ -366,7 +759,9 @@ class Medium:
         self.sim.schedule(airtime, finish)
         return airtime
 
-    def _try_deliver(self, tx: _Transmission, receiver: Radio, rssi: float) -> None:
+    def _try_deliver(
+        self, tx: _Transmission, receiver: Radio, rssi: float, prr: float
+    ) -> None:
         frame = tx.frame
         if not receiver.enabled:
             return
@@ -396,7 +791,7 @@ class Medium:
                 spans.event(tx.span, "radio.collision", node=receiver.node_id,
                             t=self.sim.now)
             return
-        if self._rng.random() > self.model.reception_probability(rssi):
+        if self._rng.random() > prr:
             self.trace.emit(self.sim.now, "radio.drop", node=receiver.node_id,
                             sender=frame.sender)
             if spans is not None:
@@ -416,7 +811,7 @@ class Medium:
         self, tx: _Transmission, receiver: Radio
     ) -> Optional[float]:
         strongest: Optional[float] = None
-        for _end, _seq, other in self._active:
+        for other in self._active_near(receiver.position, self.sim.now):
             if other is tx or other.radio is receiver:
                 continue
             if other.end <= tx.start or other.start >= tx.end:

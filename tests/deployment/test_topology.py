@@ -6,6 +6,7 @@ from repro.deployment.rollout import RolloutPlan, RolloutStage
 from repro.deployment.topology import (
     Topology,
     building_topology,
+    campus_topology,
     clustered_site_topology,
     grid_topology,
     line_topology,
@@ -64,6 +65,57 @@ class TestGenerators:
             grid_topology(0)
         with pytest.raises(ValueError):
             building_topology(0, 3)
+        with pytest.raises(ValueError):
+            campus_topology(0, 10)
+        with pytest.raises(ValueError):
+            campus_topology(3, 0)
+
+
+class TestCampus:
+    def test_exact_size_and_contiguous_domains(self):
+        campus = campus_topology(4, 25)
+        assert campus.size == 100
+        assert campus.name == "campus-4x25"
+        assert sorted(campus.domains) == [f"bldg-{b}" for b in range(4)]
+        for b in range(4):
+            assert campus.domains[f"bldg-{b}"] == list(range(25 * b,
+                                                             25 * (b + 1)))
+
+    def test_border_routers_anchor_building_corners(self):
+        campus = campus_topology(3, 16, building_span_m=80.0,
+                                 building_gap_m=40.0, buildings_per_row=2)
+        assert campus.border_routers == {
+            "bldg-0": 0, "bldg-1": 16, "bldg-2": 32}
+        assert campus.root_id == 0
+        # Row-major district layout at pitch span+gap, corners unjittered.
+        assert campus.positions[0] == (0.0, 0.0)
+        assert campus.positions[16] == (120.0, 0.0)
+        assert campus.positions[32] == (0.0, 120.0)
+
+    def test_domain_of(self):
+        campus = campus_topology(2, 9)
+        assert campus.domain_of(0) == "bldg-0"
+        assert campus.domain_of(9) == "bldg-1"
+        assert campus.domain_of(99) is None
+
+    def test_nodes_stay_near_their_building(self):
+        span, gap, jitter = 90.0, 60.0, 4.0
+        campus = campus_topology(4, 25, building_span_m=span,
+                                 building_gap_m=gap, jitter_m=jitter,
+                                 buildings_per_row=2)
+        pitch = span + gap
+        for b, members in enumerate(campus.domains.values()):
+            origin = ((b % 2) * pitch, (b // 2) * pitch)
+            for node_id in members:
+                x, y = campus.positions[node_id]
+                assert origin[0] - jitter <= x <= origin[0] + span + jitter
+                assert origin[1] - jitter <= y <= origin[1] + span + jitter
+
+    def test_deterministic_in_seed(self):
+        assert (campus_topology(3, 12, seed=5).positions
+                == campus_topology(3, 12, seed=5).positions)
+        assert (campus_topology(3, 12, seed=5).positions
+                != campus_topology(3, 12, seed=6).positions)
 
 
 class TestRollout:

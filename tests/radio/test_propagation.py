@@ -1,6 +1,13 @@
 """Link-quality model behaviour."""
 
-from repro.radio.propagation import LogDistanceModel, UnitDiskModel, distance
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.propagation import (
+    SHADOWING_CLAMP_SIGMA,
+    LogDistanceModel,
+    UnitDiskModel,
+    distance,
+)
 
 
 class TestUnitDisk:
@@ -75,3 +82,93 @@ class TestLogDistance:
 
 def test_distance_euclidean():
     assert distance((0, 0), (3, 4)) == 5.0
+
+
+coords = st.floats(min_value=0.0, max_value=500.0,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestBatchScalarEquivalence:
+    """The vectorized paths must be *bitwise* equal to the scalar ones.
+
+    The medium batches neighborhood math through ``rssi_dbm_batch`` /
+    ``reception_probability_batch`` when it has several candidates and
+    falls back to the scalar calls for singletons — any numeric drift
+    between the two would break the trace-identity contract.
+    """
+
+    @given(sender=points,
+           receivers=st.lists(points, min_size=1, max_size=16),
+           tx=st.floats(-25.0, 25.0),
+           model_seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_log_distance_batch_bitwise(self, sender, receivers, tx,
+                                        model_seed):
+        model = LogDistanceModel(shadowing_sigma_db=3.0, seed=model_seed)
+        batch = model.rssi_dbm_batch(sender, receivers, tx)
+        scalars = [model.rssi_dbm(sender, r, tx) for r in receivers]
+        assert batch == scalars
+        assert (model.reception_probability_batch(batch)
+                == [model.reception_probability(r) for r in batch])
+
+    @given(sender=points,
+           receivers=st.lists(points, min_size=1, max_size=16),
+           radius=st.floats(1.0, 200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_unit_disk_batch_bitwise(self, sender, receivers, radius):
+        model = UnitDiskModel(radius_m=radius)
+        batch = model.rssi_dbm_batch(sender, receivers, 0.0)
+        assert batch == [model.rssi_dbm(sender, r, 0.0) for r in receivers]
+
+
+class TestAudibleRangeBound:
+    @given(sender=points, receiver=points,
+           tx=st.floats(-25.0, 25.0),
+           sigma=st.floats(0.0, 8.0),
+           model_seed=st.integers(0, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_range_is_conservative(self, sender, receiver, tx, sigma,
+                                   model_seed):
+        """Nothing outside max_audible_range_m can clear the threshold.
+
+        This is the inequality the whole grid index rests on: a cell
+        neighborhood sized by this range is a *superset* of the audible
+        set, whatever the shadowing draw.
+        """
+        threshold = -100.0
+        model = LogDistanceModel(shadowing_sigma_db=sigma, seed=model_seed)
+        if distance(sender, receiver) > model.max_audible_range_m(
+                tx, threshold):
+            assert model.rssi_dbm(sender, receiver, tx) < threshold
+
+    @given(sigma=st.floats(0.1, 10.0), model_seed=st.integers(0, 500),
+           receiver=points)
+    @settings(max_examples=60, deadline=None)
+    def test_shadowing_clamped(self, sigma, model_seed, receiver):
+        model = LogDistanceModel(shadowing_sigma_db=sigma, seed=model_seed)
+        deterministic = LogDistanceModel(shadowing_sigma_db=0.0)
+        drawn = model.rssi_dbm((0.0, 0.0), receiver, 0.0)
+        base = deterministic.rssi_dbm((0.0, 0.0), receiver, 0.0)
+        assert abs(drawn - base) <= SHADOWING_CLAMP_SIGMA * sigma + 1e-9
+
+    def test_unit_disk_range_is_radius(self):
+        model = UnitDiskModel(radius_m=42.0)
+        assert model.max_audible_range_m(0.0, -100.0) == 42.0
+
+
+class TestShadowingOrderIndependence:
+    def test_query_order_does_not_matter(self):
+        """Per-link draws are hash-derived, not sequential RNG state.
+
+        Two models with the same seed must agree on every link no
+        matter which links were evaluated first — the property that
+        lets indexed and brute-force media (which evaluate links in
+        different orders) produce identical RSSI values.
+        """
+        forward = LogDistanceModel(shadowing_sigma_db=5.0, seed=9)
+        backward = LogDistanceModel(shadowing_sigma_db=5.0, seed=9)
+        links = [((0.0, 0.0), (float(k), 10.0)) for k in range(12)]
+        a = [forward.rssi_dbm(s, r, 0.0) for s, r in links]
+        b = [backward.rssi_dbm(s, r, 0.0) for s, r in reversed(links)]
+        assert a == list(reversed(b))

@@ -1,0 +1,239 @@
+"""The spatial grid index: identity with brute force, invalidation.
+
+The medium's scalability rework (DESIGN.md, "Scaling the medium")
+replaced all-pairs scans with a cell grid plus versioned caches.  The
+contract is *trace-exact equivalence*: an indexed medium must be
+indistinguishable from the brute-force one — same audible sets, same
+CCA answers, same collisions, byte for byte.  The property tests here
+pin that over random placements; the regression tests pin the cache
+invalidation rules (move, power change, attach, link filter) that keep
+the caches honest.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.medium import Frame, Medium, Radio
+from repro.radio.propagation import LogDistanceModel, UnitDiskModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+def build_pair(positions, model_factory, seed=1, trace=False):
+    """The same placement twice: spatially indexed and brute force."""
+    out = []
+    for spatial in (True, False):
+        sim = Simulator(seed=seed)
+        medium = Medium(sim, model_factory(),
+                        TraceLog(enabled=trace), spatial_index=spatial)
+        radios = []
+        for node_id, position in enumerate(positions):
+            radio = Radio(medium, node_id, position)
+            radio.on_receive = lambda frame, rssi: None
+            radio.set_listening()
+            radios.append(radio)
+        out.append((sim, medium, radios))
+    return out
+
+
+def audible_ids(medium, radio):
+    return [(r.node_id, rssi) for r, rssi in medium.audible_from(radio)]
+
+
+coords = st.floats(min_value=0.0, max_value=400.0,
+                   allow_nan=False, allow_infinity=False)
+placements = st.lists(st.tuples(coords, coords), min_size=2, max_size=20)
+
+
+class TestIdentityProperties:
+    @given(positions=placements, model_seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_audible_from_matches_brute_force(self, positions, model_seed):
+        (_, indexed, idx_radios), (_, brute, bf_radios) = build_pair(
+            positions,
+            lambda: LogDistanceModel(path_loss_exponent=3.5,
+                                     shadowing_sigma_db=3.0,
+                                     seed=model_seed),
+        )
+        assert indexed.grid_info()["spatial_index"]
+        assert not brute.grid_info()["spatial_index"]
+        for ir, br in zip(idx_radios, bf_radios):
+            assert audible_ids(indexed, ir) == audible_ids(brute, br)
+
+    @given(positions=placements, radius=st.floats(5.0, 120.0))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_disk_audible_matches(self, positions, radius):
+        (_, indexed, idx_radios), (_, brute, bf_radios) = build_pair(
+            positions, lambda: UnitDiskModel(radius_m=radius))
+        for ir, br in zip(idx_radios, bf_radios):
+            assert audible_ids(indexed, ir) == audible_ids(brute, br)
+
+    @given(positions=st.lists(st.tuples(coords, coords),
+                              min_size=4, max_size=14),
+           model_seed=st.integers(0, 200),
+           sim_seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_traffic_trace_identical(self, positions, model_seed, sim_seed):
+        """Overlapping transmissions: CCA, collisions, drops all equal."""
+        (isim, indexed, idx_radios), (bsim, brute, bf_radios) = build_pair(
+            positions,
+            lambda: LogDistanceModel(shadowing_sigma_db=2.0,
+                                     seed=model_seed),
+            seed=sim_seed, trace=True,
+        )
+        picker = random.Random(model_seed)
+        senders = picker.sample(range(len(positions)),
+                                k=min(6, len(positions)))
+        for sim, medium, radios in ((isim, indexed, idx_radios),
+                                    (bsim, brute, bf_radios)):
+            cca = []
+            for k, sender in enumerate(senders):
+                def send(radio=radios[sender]):
+                    cca.append(medium.carrier_busy(radio))
+                    medium.transmit(radio, Frame(
+                        payload="p", size_bytes=40,
+                        channel=radio.channel, sender=radio.node_id))
+                # Offsets inside one ~1.6 ms airtime: real contention.
+                sim.schedule(0.001 + k * 0.0003, send)
+            sim.run()
+            medium.trace.records.append(("cca", tuple(cca)))
+        assert indexed.trace.records == brute.trace.records
+
+    @given(moves=st.lists(st.tuples(st.integers(0, 7), coords, coords),
+                          min_size=1, max_size=10),
+           model_seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_survives_moves(self, moves, model_seed):
+        """Random relocations between queries never desync the caches."""
+        positions = [(40.0 * (i % 4), 40.0 * (i // 4)) for i in range(8)]
+        (_, indexed, idx_radios), (_, brute, bf_radios) = build_pair(
+            positions,
+            lambda: LogDistanceModel(shadowing_sigma_db=2.0,
+                                     seed=model_seed),
+        )
+        # Warm every cache before the first move.
+        for ir, br in zip(idx_radios, bf_radios):
+            assert audible_ids(indexed, ir) == audible_ids(brute, br)
+        for who, x, y in moves:
+            idx_radios[who].move_to((x, y))
+            bf_radios[who].move_to((x, y))
+            for ir, br in zip(idx_radios, bf_radios):
+                assert audible_ids(indexed, ir) == audible_ids(brute, br)
+
+
+class TestCacheInvalidation:
+    def _medium(self, sim, **kw):
+        model = LogDistanceModel(shadowing_sigma_db=0.0, seed=1)
+        return Medium(sim, model, TraceLog(enabled=False), **kw)
+
+    def test_move_invalidates_rssi_and_neighborhoods(self, sim):
+        medium = self._medium(sim)
+        a = Radio(medium, 1, (0.0, 0.0))
+        b = Radio(medium, 2, (1000.0, 0.0))
+        b.set_listening()
+        assert audible_ids(medium, a) == []
+        b.move_to((10.0, 0.0))
+        after = audible_ids(medium, a)
+        assert [node for node, _ in after] == [2]
+        assert after[0][1] == medium.rssi_between(a, b)
+
+    def test_power_change_invalidates(self, sim):
+        medium = self._medium(sim)
+        a = Radio(medium, 1, (0.0, 0.0), tx_power_dbm=-20.0)
+        b = Radio(medium, 2, (150.0, 0.0))
+        b.set_listening()
+        assert audible_ids(medium, a) == []
+        a.set_tx_power(20.0)
+        assert [node for node, _ in audible_ids(medium, a)] == [2]
+        a.set_tx_power(-20.0)
+        assert audible_ids(medium, a) == []
+
+    def test_attach_after_queries_is_visible(self, sim):
+        medium = self._medium(sim)
+        a = Radio(medium, 1, (0.0, 0.0))
+        assert audible_ids(medium, a) == []
+        late = Radio(medium, 2, (5.0, 0.0))
+        late.set_listening()
+        assert [node for node, _ in audible_ids(medium, a)] == [2]
+
+    def test_link_filter_invalidates_both_ways(self, sim):
+        medium = self._medium(sim)
+        a = Radio(medium, 1, (0.0, 0.0))
+        b = Radio(medium, 2, (10.0, 0.0))
+        for radio in (a, b):
+            radio.set_listening()
+        assert [node for node, _ in audible_ids(medium, a)] == [2]
+        medium.set_link_filter(lambda s, r: (s, r) == (1, 2))
+        assert audible_ids(medium, a) == []
+        assert [node for node, _ in audible_ids(medium, b)] == [1]
+        medium.set_link_filter(None)
+        assert [node for node, _ in audible_ids(medium, a)] == [2]
+
+    def test_rssi_cache_stays_bounded(self, sim):
+        medium = self._medium(sim, rssi_cache_max=64)
+        radios = [Radio(medium, i, (float(i), 0.0)) for i in range(40)]
+        for sender in radios:
+            for receiver in radios:
+                if sender is not receiver:
+                    medium.rssi_between(sender, receiver)
+        assert medium.grid_info()["rssi_cache"] <= 64
+
+    def test_stale_rssi_cache_entry_not_served(self, sim):
+        medium = self._medium(sim)
+        a = Radio(medium, 1, (0.0, 0.0))
+        b = Radio(medium, 2, (10.0, 0.0))
+        near = medium.rssi_between(a, b)
+        b.move_to((200.0, 0.0))
+        far = medium.rssi_between(a, b)
+        assert far < near
+
+
+class TestGridEngagement:
+    def test_subclass_without_range_falls_back(self, sim):
+        """A model overriding only rssi_dbm must not inherit the grid.
+
+        Its base class advertises max_audible_range_m, but that bound
+        describes the *base* math — trusting it for arbitrary override
+        math could silently drop audible radios.  The capability check
+        reads the model's own class dict, so this subclass gets the
+        brute-force path (capabilities are own-``__dict__`` opt-ins).
+        """
+        class Weird(UnitDiskModel):
+            def rssi_dbm(self, sender, receiver, tx_power_dbm):
+                return -60.0  # everyone hears everyone
+
+        medium = Medium(sim, Weird(radius_m=1.0), TraceLog(enabled=False))
+        assert not medium.grid_info()["spatial_index"]
+        a = Radio(medium, 1, (0.0, 0.0))
+        b = Radio(medium, 2, (5000.0, 0.0))
+        b.set_listening()
+        assert [node for node, _ in audible_ids(medium, a)] == [2]
+
+    def test_grid_engages_for_builtin_models(self, sim):
+        for model in (UnitDiskModel(), LogDistanceModel()):
+            medium = Medium(Simulator(seed=1), model,
+                            TraceLog(enabled=False))
+            Radio(medium, 1, (0.0, 0.0))
+            info = medium.grid_info()
+            assert info["spatial_index"]
+            assert info["cell_size_m"] >= 1.0
+
+    def test_spatial_index_false_disables(self, sim):
+        medium = Medium(sim, UnitDiskModel(), TraceLog(enabled=False),
+                        spatial_index=False)
+        Radio(medium, 1, (0.0, 0.0))
+        assert not medium.grid_info()["spatial_index"]
+
+    def test_cells_follow_moves(self, sim):
+        medium = Medium(sim, UnitDiskModel(radius_m=30.0),
+                        TraceLog(enabled=False))
+        a = Radio(medium, 1, (0.0, 0.0))
+        before = medium.grid_info()["cells"]
+        a.move_to((500.0, 500.0))
+        Radio(medium, 2, (0.0, 0.0))
+        assert medium.grid_info()["cells"] >= before
+        # The moved radio is findable at its new home.
+        b = Radio(medium, 3, (505.0, 500.0))
+        b.set_listening()
+        assert [node for node, _ in audible_ids(medium, a)] == [3]
