@@ -91,6 +91,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "dependability":
         from repro.checking.dependability import dependability_main
         return dependability_main(argv[1:])
+    if argv and argv[0] == "tail":
+        from repro.obs.tail import tail_main
+        return tail_main(argv[1:])
     print(f"repro {__version__} — 'A Distributed Systems Perspective on "
           f"Industrial IoT' (ICDCS 2018), executable\n")
 
@@ -137,6 +140,8 @@ def main(argv=None) -> int:
           "--fail-on 0.05  (compare exported metrics snapshots)")
     print("Dependability gate: python -m repro dependability  "
           "(fault-plan scenarios + availability-axis grading)")
+    print("Live telemetry:     python -m repro report --live run.jsonl; "
+          "python -m repro tail run.jsonl  (windowed time-series stream)")
     return 0
 
 

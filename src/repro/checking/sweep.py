@@ -15,7 +15,7 @@ failure exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.checking.base import CheckerSuite, Violation
 from repro.core.experiment import seeds_for
@@ -44,6 +44,12 @@ class ReproBundle:
     #: Rendered packet-lifecycle span trees (repro.obs) overlapping the
     #: violation window — empty unless the scenario ran with spans on.
     span_trees: List[str] = field(default_factory=list)
+    #: Rendered flight-recorder dumps (repro.obs.recorder) — empty
+    #: unless the scenario ran with telemetry + recorder attached.
+    flight_dumps: List[str] = field(default_factory=list)
+    #: The injection script that produced this run
+    #: (``FaultPlan.to_jsonable()``), when one was installed.
+    fault_plan: Optional[Dict[str, Any]] = None
 
     def summary(self, max_violations: int = 10, max_trace: int = 20) -> str:
         """Human-readable repro recipe."""
@@ -55,6 +61,14 @@ class ReproBundle:
             lines.append(f"  {violation}")
         if len(self.violations) > max_violations:
             lines.append(f"  ... {len(self.violations) - max_violations} more")
+        if self.fault_plan is not None:
+            clauses = self.fault_plan.get("clauses", [])
+            lines.append(f"  fault plan ({len(clauses)} clause(s)):")
+            for clause in clauses:
+                detail = ", ".join(f"{k}={v}" for k, v in sorted(clause.items())
+                                   if k not in ("kind", "at_s"))
+                lines.append(f"    {clause['kind']} @ t={clause['at_s']:g}s"
+                             f"  {detail}")
         if self.trace_tail:
             lines.append(f"  trailing trace ({len(self.trace_tail)} records,"
                          f" last {max_trace} shown):")
@@ -69,6 +83,11 @@ class ReproBundle:
             for tree in self.span_trees:
                 for tree_line in tree.splitlines():
                     lines.append(f"    {tree_line}")
+        if self.flight_dumps:
+            lines.append(f"  flight recorder ({len(self.flight_dumps)} dump(s)):")
+            for dump in self.flight_dumps:
+                for dump_line in dump.splitlines():
+                    lines.append(f"    {dump_line}")
         lines.append(f"  repro: rerun scenario {self.scenario!r} "
                      f"with seed={self.seed}")
         return "\n".join(lines)
@@ -124,8 +143,15 @@ class SeedSweepRunner:
             )
             tail = [r for r in suite.trace.records if r.time >= window_start]
             span_trees = self._span_trees(suite, window_start)
+            obs = getattr(suite.trace, "obs", None)
+            recorder = getattr(obs, "recorder", None)
+            flight_dumps = recorder.render_all() if recorder is not None else []
+            plan = getattr(suite.trace, "fault_plan", None)
             bundle = ReproBundle(self.name, seed, violations, tail,
-                                 span_trees=span_trees)
+                                 span_trees=span_trees,
+                                 flight_dumps=flight_dumps,
+                                 fault_plan=(plan.to_jsonable()
+                                             if plan is not None else None))
         return SweepOutcome(seed=seed, violations=violations, bundle=bundle)
 
     def _span_trees(self, suite: CheckerSuite, window_start: float) -> List[str]:

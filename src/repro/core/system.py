@@ -61,6 +61,23 @@ class SystemConfig:
     #: index is trace-exact, so this exists only for A/B benchmarking
     #: against the brute-force scans.
     medium_spatial_index: bool = True
+    #: Windowed telemetry scrape period in sim seconds (repro.obs.
+    #: timeseries).  None (the default) attaches no engine and keeps
+    #: the zero-diff guarantee of uninstrumented runs; a value requires
+    #: ``observability=True`` and *does* schedule simulator events (the
+    #: scrape timer), like NodeHealthSampler.  Enabling it also attaches
+    #: the flight recorder (repro.obs.recorder).
+    telemetry_interval_s: Optional[float] = None
+    #: Telemetry retention-ring depth: how many closed windows the
+    #: engine keeps (older ones are counted as dropped, never silently
+    #: lost).  Bounds telemetry memory at city scale.
+    telemetry_retention: int = 120
+    #: Use fixed-bucket log-scale histogram sketches instead of exact
+    #: value series (repro.obs.registry.SketchHistogram).  Opt-in:
+    #: exact histograms remain the default so diff baselines and
+    #: percentile semantics are unchanged unless a run asks for
+    #: bounded-memory histograms.
+    histogram_sketch: bool = False
 
 
 class TimeSeriesStore:
@@ -110,6 +127,12 @@ class IIoTSystem:
         self._gateway: Optional[Gateway] = None
         self._activated: set = set()
         self.obs = None
+        self.telemetry = None
+        self.recorder = None
+        if config.telemetry_interval_s is not None and not config.observability:
+            raise ValueError(
+                "SystemConfig(telemetry_interval_s=...) requires "
+                "observability=True: the engine scrapes the obs registry")
         if config.observability:
             # Imported lazily, mirroring the checking import below.
             from repro.obs import Observability
@@ -117,8 +140,19 @@ class IIoTSystem:
                 span_sample_rate=config.span_sample_rate,
                 span_seed=sim.seed,
                 span_max=config.span_max_stored,
+                histogram_sketch=config.histogram_sketch,
             )
             self.obs.attach(trace)
+            if config.telemetry_interval_s is not None:
+                from repro.obs.recorder import FlightRecorder
+                from repro.obs.timeseries import TelemetryEngine
+                self.telemetry = TelemetryEngine.for_system(
+                    self, interval_s=config.telemetry_interval_s,
+                    retention=config.telemetry_retention)
+                self.recorder = FlightRecorder(self.telemetry,
+                                               spans=self.obs.spans)
+                self.obs.telemetry = self.telemetry
+                self.obs.recorder = self.recorder
         self._build_nodes()
         self.checkers = None
         if config.invariant_checking:
@@ -177,6 +211,8 @@ class IIoTSystem:
         nothing joins a DODAG without its root.
         """
         targets = node_ids if node_ids is not None else self.topology.node_ids()
+        if self.telemetry is not None:
+            self.telemetry.start()  # idempotent; first window one interval in
         if self.topology.root_id not in self._activated:
             self.root.start()
             self._activated.add(self.topology.root_id)

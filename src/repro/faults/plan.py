@@ -157,6 +157,45 @@ class RandomCrashesClause:
 
 Clause = Any  # any of the clause dataclasses above
 
+#: ``kind`` → clause class, for the JSON round trip.
+_CLAUSE_KINDS = {
+    cls.kind: cls for cls in (
+        CrashClause, PartitionClause, LinkFlapClause, SensorClause,
+        InterferenceClause, RandomCrashesClause)
+}
+
+
+def _clause_to_jsonable(clause: Clause) -> Dict[str, Any]:
+    import dataclasses
+    payload: Dict[str, Any] = {"kind": clause.kind}
+    for f in dataclasses.fields(clause):
+        value = getattr(clause, f.name)
+        if isinstance(value, SensorFault):
+            value = value.value
+        elif isinstance(value, tuple):
+            value = list(value)
+        payload[f.name] = value
+    return payload
+
+
+def _clause_from_jsonable(payload: Dict[str, Any]) -> Clause:
+    import dataclasses
+    kind = payload.get("kind")
+    cls = _CLAUSE_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault clause kind {kind!r}")
+    kwargs: Dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in payload:
+            continue
+        value = payload[f.name]
+        if f.name == "mode":
+            value = SensorFault(value)
+        elif f.name == "position":
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
 
 # ----------------------------------------------------------------------
 # the plan
@@ -246,6 +285,21 @@ class FaultPlan:
             if end < start:
                 raise ValueError(f"{clause.kind} clause ends before it starts")
 
+    # -- serialization (repro bundles, flight dumps) --------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON shape; clauses keep plan order."""
+        return {
+            "format": "repro.faultplan/1",
+            "clauses": [_clause_to_jsonable(c) for c in self.clauses],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if payload.get("format") != "repro.faultplan/1":
+            raise ValueError(
+                f"not a fault plan: format={payload.get('format')!r}")
+        return cls(_clause_from_jsonable(c) for c in payload.get("clauses", []))
+
     # -- compilation ---------------------------------------------------
     def install(self, system) -> "FaultPlanRuntime":
         """Compile onto a (typically converged) system; times already in
@@ -257,6 +311,13 @@ class FaultPlan:
                     f"{clause.kind} clause at t={clause.at_s:g} is in the "
                     f"past (now={system.sim.now:g})"
                 )
+        # Register on the trace so repro bundles (and flight dumps) can
+        # ship the injection script; repeated installs accumulate.
+        existing = getattr(system.trace, "fault_plan", None)
+        if existing is None:
+            system.trace.fault_plan = FaultPlan(self.clauses)
+        else:
+            existing.clauses.extend(self.clauses)
         return FaultPlanRuntime(self, system)
 
     def __len__(self) -> int:
@@ -306,6 +367,11 @@ class FaultPlanRuntime:
             self._spans[index] = obs.spans.start(
                 None, f"fault.{clause.kind}", node=data.pop("node", None),
                 t=self.sim.now, **data)
+        recorder = getattr(obs, "recorder", None)
+        if recorder is not None:
+            # Flight-recorder trigger: a fault window opening is the
+            # moment to freeze the pre-fault telemetry weather.
+            recorder.on_fault_window(clause.kind, self.sim.now, clause=index)
 
     def _end(self, index: int, **data: Any) -> None:
         self.active_clauses -= 1

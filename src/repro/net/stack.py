@@ -237,12 +237,14 @@ class NetworkStack:
         instrument.value += 1.0
 
     def _observe_latency(self, obs: Any, port: int, latency: float) -> None:
-        histograms = self._obs_slots(obs)[self._LATENCY]
-        instrument = histograms.get(port)
-        if instrument is None:
-            instrument = histograms[port] = obs.registry.histogram(
-                "net.latency_s", port=port)
-        instrument.values.append(latency)
+        recorders = self._obs_slots(obs)[self._LATENCY]
+        record = recorders.get(port)
+        if record is None:
+            # `record` is the bound fast-path writer: values.append for
+            # exact histograms, SketchHistogram.observe in sketch mode.
+            record = recorders[port] = obs.registry.histogram(
+                "net.latency_s", port=port).record
+        record(latency)
 
     # ------------------------------------------------------------------
     # socket API

@@ -33,15 +33,23 @@ from repro.obs.export import (
     write_metrics_json,
     write_spans_jsonl,
     write_trace_jsonl,
+    write_windows_jsonl,
 )
 from repro.obs.health import NodeHealthSampler, health_rows
 from repro.obs.profiler import SimProfiler
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsSnapshot, Registry
+from repro.obs.recorder import FlightDump, FlightRecorder
+from repro.obs.registry import (Counter, Gauge, Histogram, MetricsSnapshot,
+                                Registry, SketchHistogram)
 from repro.obs.spans import Span, SpanContext, SpanNode, SpanTracer
+from repro.obs.timeseries import (AlertRule, TelemetryEngine,
+                                  TelemetrySnapshot, TelemetryWindow)
 from repro.sim.trace import TraceLog
 
 __all__ = [
+    "AlertRule",
     "Counter",
+    "FlightDump",
+    "FlightRecorder",
     "GATED_SPAN_CATEGORIES",
     "Gauge",
     "Histogram",
@@ -51,10 +59,14 @@ __all__ = [
     "Observability",
     "Registry",
     "SimProfiler",
+    "SketchHistogram",
     "Span",
     "SpanContext",
     "SpanNode",
     "SpanTracer",
+    "TelemetryEngine",
+    "TelemetrySnapshot",
+    "TelemetryWindow",
     "diff_snapshots",
     "export_run",
     "gated_run",
@@ -65,6 +77,7 @@ __all__ = [
     "write_metrics_json",
     "write_spans_jsonl",
     "write_trace_jsonl",
+    "write_windows_jsonl",
 ]
 
 
@@ -74,7 +87,11 @@ __all__ = [
 #: pinned by its first dotted segment).  Repro bundles and
 #: ``make check-dependability`` read these after the fact, so a ring
 #: buffer that evicted them would silently weaken the gates.
+#: ``alert`` (every ``alert.<rule>`` span, pinned by first dotted
+#: segment) joins them: SLO firings are exactly what flight dumps and
+#: ``repro diff`` gates must never lose to sampling.
 GATED_SPAN_CATEGORIES = frozenset({
+    "alert",
     "fault",
     "rnfd.verdict",
     "rpl.parent_switch",
@@ -121,8 +138,14 @@ class Observability:
                  span_sample_rate: float = 1.0,
                  span_seed: int = 0,
                  span_max: Optional[int] = None,
-                 span_pinned: Optional[frozenset] = None) -> None:
-        self.registry = registry if registry is not None else Registry()
+                 span_pinned: Optional[frozenset] = None,
+                 histogram_sketch: bool = False) -> None:
+        self.registry = registry if registry is not None else Registry(
+            histogram_sketch=histogram_sketch)
+        #: set by the system wiring when SystemConfig(telemetry_interval_s=)
+        #: is given — layers and exporters find both via ``trace.obs``.
+        self.telemetry: Optional[TelemetryEngine] = None
+        self.recorder: Optional[FlightRecorder] = None
         if gated_run():
             span_sample_rate, span_max = 1.0, None
         else:

@@ -71,7 +71,21 @@ def write_metrics_json(snapshot: MetricsSnapshot, path: str) -> int:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return (len(payload["counters"]) + len(payload["gauges"])
-            + len(payload["histograms"]))
+            + len(payload["histograms"]) + len(payload.get("sketches", ())))
+
+
+def write_windows_jsonl(windows, path: str) -> int:
+    """One JSON object per telemetry window (the ``repro tail`` wire
+    format).  Accepts any iterable of
+    :class:`~repro.obs.timeseries.TelemetryWindow`."""
+    from repro.obs.timeseries import window_to_jsonable
+    count = 0
+    with open(path, "w") as handle:
+        for window in windows:
+            handle.write(json.dumps(window_to_jsonable(window),
+                                    sort_keys=True) + "\n")
+            count += 1
+    return count
 
 
 def read_metrics_json(path: str) -> MetricsSnapshot:
@@ -117,6 +131,17 @@ def export_run(
             snapshot, os.path.join(directory, "metrics.csv"))
         written["metrics.json"] = write_metrics_json(
             snapshot, os.path.join(directory, "metrics.json"))
+    telemetry = getattr(obs, "telemetry", None)
+    if telemetry is not None:
+        written["telemetry.jsonl"] = write_windows_jsonl(
+            telemetry.windows, os.path.join(directory, "telemetry.jsonl"))
+    recorder = getattr(obs, "recorder", None)
+    if recorder is not None and recorder.dumps:
+        with open(os.path.join(directory, "flight.json"), "w") as handle:
+            json.dump([dump.to_jsonable() for dump in recorder.dumps],
+                      handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        written["flight.json"] = len(recorder.dumps)
     if trace.enabled:
         written["trace.jsonl"] = write_trace_jsonl(
             trace, os.path.join(directory, "trace.jsonl"))

@@ -1,0 +1,154 @@
+"""repro.obs.recorder — the flight recorder.
+
+A violation at hour 10 of a 50k-node run is undiagnosable from an
+end-of-run snapshot (too aggregated) or a full-fidelity trace (too
+expensive to keep).  The :class:`FlightRecorder` sits between: on a
+*trigger* — any checker violation, or a fault-plan window opening — it
+freezes a :class:`FlightDump` of
+
+- the last K telemetry windows from the engine's retention ring (the
+  metric weather just before the event), and
+- the recent *pinned* spans (``fault.*``, ``rnfd.verdict``,
+  ``rpl.parent_switch``, ``alert.*`` — the categories the ring buffer
+  never evicts, so they exist at every sampling rate).
+
+Dumps ride into :class:`~repro.checking.sweep.ReproBundle`, so a
+failing seed's bundle carries its own black-box recording next to the
+trace tail and span trees.
+
+Triggers are wired without import cycles: ``checking.base`` and
+``faults.plan`` look up ``trace.obs.recorder`` dynamically and call
+:meth:`on_violation` / :meth:`on_fault_window` when one is attached.
+The recorder never mutates the system, draws RNG, or schedules events —
+the same transparency contract the checkers obey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.obs.timeseries import TelemetryEngine, TelemetryWindow, window_to_jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracer
+
+__all__ = ["FlightDump", "FlightRecorder"]
+
+
+@dataclass
+class FlightDump:
+    """One frozen black-box record (plain data, picklable)."""
+
+    trigger: Dict[str, Any]
+    at_s: float
+    windows: List[TelemetryWindow] = field(default_factory=list)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "format": "repro.flightdump/1",
+            "trigger": self.trigger,
+            "at_s": self.at_s,
+            "windows": [window_to_jsonable(w) for w in self.windows],
+            "spans": self.spans,
+        }
+
+    def render(self) -> str:
+        """Human-readable dump block (the repro-bundle presentation)."""
+        trigger = ", ".join(f"{k}={v}" for k, v in sorted(self.trigger.items()))
+        lines = [f"flight dump @ t={self.at_s:.3f}s  [{trigger}]"]
+        for window in self.windows:
+            active = len(window.counters) + len(window.histograms)
+            alerts = f"  alerts={','.join(window.alerts)}" if window.alerts else ""
+            lines.append(
+                f"  window {window.index}  t={window.start:.1f}..{window.end:.1f}s"
+                f"  active_series={active}{alerts}")
+        for span in self.spans:
+            end = span.get("end")
+            end_s = f"{end:.3f}" if end is not None else "open"
+            lines.append(f"  span {span['category']} node={span['node']}"
+                         f" t={span['start']:.3f}..{end_s}")
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Freezes telemetry + pinned spans when something goes wrong.
+
+    ``last_k`` bounds windows per dump, ``span_lookback_s`` and
+    ``max_spans`` bound the span slice, and ``max_dumps`` bounds the
+    recorder itself (a fault storm must not grow memory without bound —
+    later triggers are counted in :attr:`suppressed`, not stored).
+    """
+
+    def __init__(self, engine: TelemetryEngine,
+                 spans: Optional["SpanTracer"] = None,
+                 last_k: int = 16,
+                 span_lookback_s: float = 600.0,
+                 max_spans: int = 64,
+                 max_dumps: int = 8) -> None:
+        self.engine = engine
+        self.spans = spans
+        self.last_k = last_k
+        self.span_lookback_s = span_lookback_s
+        self.max_spans = max_spans
+        self.max_dumps = max_dumps
+        self.dumps: List[FlightDump] = []
+        self.suppressed = 0
+
+    # ------------------------------------------------------------------
+    # triggers
+    # ------------------------------------------------------------------
+    def on_violation(self, violation: Any) -> Optional[FlightDump]:
+        """Checker violation trigger (see ``InvariantChecker.record``)."""
+        return self._dump({
+            "kind": "violation",
+            "checker": getattr(violation, "checker", "?"),
+            "invariant": getattr(violation, "invariant", "?"),
+            "node": getattr(violation, "node", None),
+        }, at_s=getattr(violation, "time", self.engine.sim.now))
+
+    def on_fault_window(self, kind: str, at_s: float,
+                        **detail: Any) -> Optional[FlightDump]:
+        """Fault-plan window-open trigger (``FaultPlanRuntime``)."""
+        trigger = {"kind": "fault", "fault": kind}
+        trigger.update(detail)
+        return self._dump(trigger, at_s=at_s)
+
+    # ------------------------------------------------------------------
+    def _dump(self, trigger: Dict[str, Any], at_s: float) -> Optional[FlightDump]:
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed += 1
+            return None
+        dump = FlightDump(trigger=trigger, at_s=at_s,
+                          windows=self.engine.recent(self.last_k),
+                          spans=self._recent_pinned_spans(at_s))
+        self.dumps.append(dump)
+        self.engine.registry.inc("recorder.dumps", trigger=trigger["kind"])
+        return dump
+
+    def _recent_pinned_spans(self, at_s: float) -> List[Dict[str, Any]]:
+        tracer = self.spans
+        if tracer is None:
+            return []
+        horizon = at_s - self.span_lookback_s
+        rows = []
+        for span in tracer.spans.values():
+            if span.start < horizon or span.start > at_s:
+                continue
+            if not tracer._is_pinned(span.category):
+                continue
+            rows.append({"category": span.category, "node": span.node,
+                         "start": span.start, "end": span.end,
+                         "data": dict(span.data), "span_id": span.span_id})
+        rows.sort(key=lambda r: (r["start"], r["span_id"]))
+        return rows[-self.max_spans:]
+
+    # ------------------------------------------------------------------
+    def render_all(self) -> List[str]:
+        """Rendered dump blocks plus a suppression note, if any."""
+        out = [dump.render() for dump in self.dumps]
+        if self.suppressed:
+            out.append(f"({self.suppressed} further flight dumps suppressed "
+                       f"beyond max_dumps={self.max_dumps})")
+        return out

@@ -8,6 +8,13 @@ Three instrument kinds, all labeled:
 - :class:`Histogram` — full-resolution value series with exact
   percentiles (``net.latency_s``).
 
+A fourth, opt-in representation trades exactness for bounded memory:
+:class:`SketchHistogram`, a fixed log-scale bucket sketch selected per
+registry with ``Registry(histogram_sketch=True)``.  City-scale runs
+(10k–50k nodes, PR 7) would otherwise retain every latency sample for
+the whole run; the sketch keeps O(buckets) per series while preserving
+exact ``count``/``sum``/``min``/``max`` and ±~15% quantile estimates.
+
 Instruments are addressed as ``registry.counter("mac.tx", node=3)``;
 the ``(name, sorted label items)`` pair identifies one time series.
 
@@ -21,6 +28,7 @@ snapshots produces byte-identical aggregates for every ``jobs`` count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -28,6 +36,10 @@ from repro.core.metrics import percentile
 
 #: One time-series key: metric name + sorted ``(label, value)`` items.
 SeriesKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+#: Frozen sketch payload: ``(count, sum, min, max, ((bucket, n), ...))``
+#: with buckets sorted by index — plain data, picklable, mergeable.
+SketchData = Tuple[int, float, float, float, Tuple[Tuple[int, int], ...]]
 
 
 def _series_key(name: str, labels: Dict[str, Any]) -> SeriesKey:
@@ -65,14 +77,20 @@ class Gauge:
 
 
 class Histogram:
-    """An exact value series (simulation scale permits full resolution)."""
+    """An exact value series (simulation scale permits full resolution).
 
-    __slots__ = ("name", "labels", "values")
+    ``record`` is the bound ``values.append`` — hot paths cache the
+    instrument and call ``instrument.record(v)``, which is one C call
+    and works identically on :class:`SketchHistogram`.
+    """
+
+    __slots__ = ("name", "labels", "values", "record")
 
     def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
         self.name = name
         self.labels = labels
         self.values: List[float] = []
+        self.record = self.values.append
 
     def observe(self, value: float) -> None:
         self.values.append(value)
@@ -89,13 +107,126 @@ class Histogram:
         return percentile(self.values, fraction)
 
 
-class Registry:
-    """Get-or-create instrument store for one run (or one trial)."""
+# ----------------------------------------------------------------------
+# log-scale histogram sketch (opt-in, bounded memory)
+# ----------------------------------------------------------------------
+#: Bucket resolution: 8 buckets per decade → bucket edges grow by
+#: 10^(1/8) ≈ 1.33×, so a quantile estimate is within ~±15% of exact.
+_SKETCH_BUCKETS_PER_DECADE = 8
+#: Values at/below 10^-9 (and zero/negative) share the low clamp bucket;
+#: values at/above 10^9 share the high clamp bucket.  The exact
+#: ``min``/``max`` carried alongside keep clamped estimates honest.
+_SKETCH_LO_IDX = -9 * _SKETCH_BUCKETS_PER_DECADE          # edge 1e-9
+_SKETCH_HI_IDX = 9 * _SKETCH_BUCKETS_PER_DECADE           # edge 1e9
+_SKETCH_UNDER_IDX = _SKETCH_LO_IDX - 1                    # zero/negative/tiny
 
-    def __init__(self) -> None:
+
+def _sketch_bucket(value: float) -> int:
+    if value < 1e-9:
+        return _SKETCH_UNDER_IDX
+    idx = math.floor(math.log10(value) * _SKETCH_BUCKETS_PER_DECADE)
+    if idx < _SKETCH_LO_IDX:
+        return _SKETCH_UNDER_IDX
+    if idx >= _SKETCH_HI_IDX:
+        return _SKETCH_HI_IDX
+    return idx
+
+
+def _sketch_bucket_value(idx: int, lo: float, hi: float) -> float:
+    """Representative value of a bucket, clamped to the exact [min, max]."""
+    if idx <= _SKETCH_UNDER_IDX:
+        rep = 0.0
+    else:
+        rep = 10.0 ** ((idx + 0.5) / _SKETCH_BUCKETS_PER_DECADE)
+    return min(max(rep, lo), hi)
+
+
+def sketch_percentile(data: SketchData, fraction: float) -> float:
+    """Quantile estimate from a frozen sketch (bucket midpoint walk)."""
+    count, _total, lo, hi, buckets = data
+    if count == 0:
+        return 0.0
+    rank = fraction * (count - 1)
+    seen = 0
+    for idx, n in buckets:
+        seen += n
+        if seen > rank:
+            return _sketch_bucket_value(idx, lo, hi)
+    return hi
+
+
+def merge_sketch(a: SketchData, b: SketchData) -> SketchData:
+    """Elementwise-merge two frozen sketches (commutative, lossless)."""
+    counts: Dict[int, int] = dict(a[4])
+    for idx, n in b[4]:
+        counts[idx] = counts.get(idx, 0) + n
+    count = a[0] + b[0]
+    lo = min(a[2], b[2]) if count else 0.0
+    hi = max(a[3], b[3]) if count else 0.0
+    if a[0] == 0:
+        lo, hi = b[2], b[3]
+    elif b[0] == 0:
+        lo, hi = a[2], a[3]
+    return (count, a[1] + b[1], lo, hi, tuple(sorted(counts.items())))
+
+
+class SketchHistogram:
+    """Fixed-bucket log-scale histogram: O(buckets) memory per series.
+
+    Drop-in for :class:`Histogram` at every *write* site (``observe`` /
+    the cached ``record`` callable); readers that need raw samples
+    (``Registry.values``) get an empty list — the sketch keeps none.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max",
+                 "buckets", "record")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+        self.record = self.observe
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = _sketch_bucket(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def freeze(self) -> SketchData:
+        if self.count == 0:
+            return (0, 0.0, 0.0, 0.0, ())
+        return (self.count, self.sum, self.min, self.max,
+                tuple(sorted(self.buckets.items())))
+
+    def percentile(self, fraction: float) -> float:
+        return sketch_percentile(self.freeze(), fraction)
+
+
+class Registry:
+    """Get-or-create instrument store for one run (or one trial).
+
+    ``histogram_sketch=True`` swaps every histogram for a
+    :class:`SketchHistogram`: same write API, bounded memory, and the
+    snapshot lands in :attr:`MetricsSnapshot.sketches` instead of
+    ``histograms``.  The mode is per-registry (never mixed), so merge
+    partners always agree on representation.
+    """
+
+    def __init__(self, histogram_sketch: bool = False) -> None:
+        self.histogram_sketch = histogram_sketch
+        self._histogram_cls = SketchHistogram if histogram_sketch else Histogram
         self._counters: Dict[SeriesKey, Counter] = {}
         self._gauges: Dict[SeriesKey, Gauge] = {}
-        self._histograms: Dict[SeriesKey, Histogram] = {}
+        self._histograms: Dict[SeriesKey, Any] = {}
         # Instrument lookup caches keyed on the *call-site* label order
         # ((name, tuple(labels.items()))), so the hot path skips the
         # per-call sort in _series_key after first touch.  Different
@@ -103,7 +234,7 @@ class Registry:
         # instrument under two cache keys.
         self._counter_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Counter] = {}
         self._gauge_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Gauge] = {}
-        self._histogram_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Histogram] = {}
+        self._histogram_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
 
     # ------------------------------------------------------------------
     # instrument access
@@ -130,14 +261,14 @@ class Registry:
             self._gauge_cache[cache_key] = instrument
         return instrument
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
+    def histogram(self, name: str, **labels: Any) -> Any:
         cache_key = (name, tuple(labels.items()))
         instrument = self._histogram_cache.get(cache_key)
         if instrument is None:
             key = _series_key(name, labels)
             instrument = self._histograms.get(key)
             if instrument is None:
-                instrument = self._histograms[key] = Histogram(name, key[1])
+                instrument = self._histograms[key] = self._histogram_cls(name, key[1])
             self._histogram_cache[cache_key] = instrument
         return instrument
 
@@ -165,7 +296,10 @@ class Registry:
         instrument = self._histogram_cache.get((name, tuple(labels.items())))
         if instrument is None:
             instrument = self.histogram(name, **labels)
-        instrument.values.append(value)
+        # `record` is values.append (exact) or SketchHistogram.observe
+        # (sketch) — bound once at instrument construction, so the mode
+        # branch costs nothing here.
+        instrument.record(value)
 
     # ------------------------------------------------------------------
     # reading
@@ -176,7 +310,14 @@ class Registry:
 
     def values(self, name: str) -> List[float]:
         """Concatenated histogram observations over every label set,
-        in deterministic (sorted-key) order."""
+        in deterministic (sorted-key) order.
+
+        Sketch-mode registries keep no raw samples, so this is empty —
+        use ``snapshot().sketches`` (count/sum/quantile estimates)
+        instead.
+        """
+        if self.histogram_sketch:
+            return []
         out: List[float] = []
         for key in sorted(self._histograms, key=repr):
             if key[0] == name:
@@ -185,6 +326,12 @@ class Registry:
 
     def snapshot(self) -> "MetricsSnapshot":
         """Freeze the registry into plain, picklable data."""
+        if self.histogram_sketch:
+            return MetricsSnapshot(
+                counters={k: c.value for k, c in self._counters.items()},
+                gauges={k: g.value for k, g in self._gauges.items()},
+                sketches={k: h.freeze() for k, h in self._histograms.items()},
+            )
         return MetricsSnapshot(
             counters={k: c.value for k, c in self._counters.items()},
             gauges={k: g.value for k, g in self._gauges.items()},
@@ -203,16 +350,18 @@ class MetricsSnapshot:
     counters: Dict[SeriesKey, float] = field(default_factory=dict)
     gauges: Dict[SeriesKey, float] = field(default_factory=dict)
     histograms: Dict[SeriesKey, Tuple[float, ...]] = field(default_factory=dict)
+    sketches: Dict[SeriesKey, SketchData] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
     def merge(cls, snapshots: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
         """Combine snapshots *in the order given*.
 
-        Counters and histograms are commutative (sum / concatenate);
-        gauges are last-write-wins, which is why order matters and why
-        callers must merge in trial-index order (the order every
-        :class:`~repro.parallel.TrialExecutor` already yields).
+        Counters, histograms, and sketches are commutative (sum /
+        concatenate / bucket-add); gauges are last-write-wins, which is
+        why order matters and why callers must merge in trial-index
+        order (the order every :class:`~repro.parallel.TrialExecutor`
+        already yields).
         """
         merged = cls()
         for snap in snapshots:
@@ -222,6 +371,9 @@ class MetricsSnapshot:
                 merged.gauges[key] = value
             for key, values in snap.histograms.items():
                 merged.histograms[key] = merged.histograms.get(key, ()) + tuple(values)
+            for key, data in snap.sketches.items():
+                prior = merged.sketches.get(key)
+                merged.sketches[key] = data if prior is None else merge_sketch(prior, data)
         return merged
 
     # ------------------------------------------------------------------
@@ -254,12 +406,26 @@ class MetricsSnapshot:
                             "value": list(value) if isinstance(value, tuple) else value})
             return out
 
-        return {
+        payload = {
             "format": "repro.metrics/1",
             "counters": series(self.counters),
             "gauges": series(self.gauges),
             "histograms": series(self.histograms),
         }
+        if self.sketches:
+            # Additive key: emitted only when present so exact-mode
+            # exports stay byte-identical to pre-sketch baselines.
+            sketch_rows = []
+            for key in sorted(self.sketches, key=repr):
+                name, labels = key
+                count, total, lo, hi, buckets = self.sketches[key]
+                sketch_rows.append({
+                    "name": name, "labels": dict(labels),
+                    "count": count, "sum": total, "min": lo, "max": hi,
+                    "buckets": [[idx, n] for idx, n in buckets],
+                })
+            payload["sketches"] = sketch_rows
+        return payload
 
     @classmethod
     def from_jsonable(cls, payload: Dict[str, Any]) -> "MetricsSnapshot":
@@ -276,6 +442,12 @@ class MetricsSnapshot:
             snap.gauges[key_of(entry)] = float(entry["value"])
         for entry in payload.get("histograms", []):
             snap.histograms[key_of(entry)] = tuple(float(v) for v in entry["value"])
+        for entry in payload.get("sketches", []):
+            snap.sketches[key_of(entry)] = (
+                int(entry["count"]), float(entry["sum"]),
+                float(entry["min"]), float(entry["max"]),
+                tuple((int(i), int(n)) for i, n in entry["buckets"]),
+            )
         return snap
 
     def rows(self) -> List[Dict[str, Any]]:
@@ -300,4 +472,11 @@ class MetricsSnapshot:
                          "value": sum(values), "count": len(values),
                          "p50": percentile(values, 0.5),
                          "p95": percentile(values, 0.95)})
+        for key in sorted(self.sketches, key=repr):
+            data = self.sketches[key]
+            rows.append({"kind": "sketch", "name": key[0],
+                         "labels": label_str(key[1]),
+                         "value": data[1], "count": data[0],
+                         "p50": sketch_percentile(data, 0.5),
+                         "p95": sketch_percentile(data, 0.95)})
         return rows

@@ -85,12 +85,23 @@ def run_demo(
     faults: bool = False,
     span_sample_rate: float = 1.0,
     span_max_stored: Optional[int] = None,
+    telemetry_interval_s: Optional[float] = None,
+    live_sink=None,
 ) -> ReportRun:
-    """Build, converge, and exercise one fully instrumented system."""
+    """Build, converge, and exercise one fully instrumented system.
+
+    ``telemetry_interval_s`` attaches the windowed telemetry engine and
+    flight recorder; ``live_sink`` (a writable text handle) streams each
+    closed window as JSONL while the run advances — the ``--live`` wire
+    that ``python -m repro tail`` reads.
+    """
     config = SystemConfig(observability=True,
                           span_sample_rate=span_sample_rate,
-                          span_max_stored=span_max_stored)
+                          span_max_stored=span_max_stored,
+                          telemetry_interval_s=telemetry_interval_s)
     system = IIoTSystem.build(grid_topology(side), config=config, seed=seed)
+    if live_sink is not None and system.telemetry is not None:
+        system.telemetry.sink = live_sink
     profiler = SimProfiler(system.sim) if profile else None
     system.add_field_sensors("temp", DiurnalField(mean=21.0))
     system.start()
@@ -305,6 +316,25 @@ def render_report(run: ReportRun, top: int = 8) -> str:
                     + (f" {extras}" if extras else "")
                 )
 
+    telemetry = system.telemetry
+    if telemetry is not None:
+        lines.append(_section("telemetry windows"))
+        lines.append(
+            f"interval={telemetry.interval_s:g}s closed={telemetry.windows_closed} "
+            f"retained={len(telemetry.windows)} dropped={telemetry.dropped} "
+            f"alerts={telemetry.alerts_fired}")
+        last = telemetry.last_window
+        if last is not None:
+            lines.append(
+                f"last window {last.index} t={last.start:.0f}..{last.end:.0f}s: "
+                f"sent={last.counter_total('net.sent'):.0f} "
+                f"delivered={last.counter_total('net.delivered'):.0f} "
+                f"mac.tx={last.counter_total('mac.tx'):.0f}")
+        recorder = system.recorder
+        if recorder is not None and recorder.dumps:
+            lines.append(f"flight dumps: {len(recorder.dumps)} "
+                         f"(+{recorder.suppressed} suppressed)")
+
     rows = health_rows(registry)
     if rows:
         lines.append(_section("node health (last sample)"))
@@ -375,16 +405,44 @@ def report_main(argv) -> int:
     parser.add_argument("--span-max-stored", type=int, default=None,
                         metavar="N",
                         help="ring-buffer bound on stored spans")
+    parser.add_argument("--live", metavar="PATH", default=None,
+                        help="stream telemetry windows as JSONL to PATH "
+                             "('-' for stdout) while the run advances; "
+                             "follow with `python -m repro tail PATH -f`")
+    parser.add_argument("--telemetry-interval", type=float, default=None,
+                        metavar="S",
+                        help="telemetry window length in sim seconds "
+                             "(default: duration/10 when --live is given, "
+                             "else telemetry stays off)")
     args = parser.parse_args(argv)
     if args.side < 2:
         parser.error("--side must be >= 2")
     if not 0.0 <= args.span_sample_rate <= 1.0:
         parser.error("--span-sample-rate must be in [0, 1]")
+    if args.telemetry_interval is not None and args.telemetry_interval <= 0:
+        parser.error("--telemetry-interval must be positive")
 
-    run = run_demo(side=args.side, traffic_s=args.duration, seed=args.seed,
-                   profile=not args.no_profile, faults=args.faults,
-                   span_sample_rate=args.span_sample_rate,
-                   span_max_stored=args.span_max_stored)
+    interval = args.telemetry_interval
+    if interval is None and args.live is not None:
+        interval = max(1.0, args.duration / 10.0)
+    sink = None
+    sink_file = None
+    if args.live is not None:
+        import sys as _sys
+        if args.live == "-":
+            sink = _sys.stdout
+        else:
+            sink = sink_file = open(args.live, "w")
+    try:
+        run = run_demo(side=args.side, traffic_s=args.duration, seed=args.seed,
+                       profile=not args.no_profile, faults=args.faults,
+                       span_sample_rate=args.span_sample_rate,
+                       span_max_stored=args.span_max_stored,
+                       telemetry_interval_s=interval,
+                       live_sink=sink)
+    finally:
+        if sink_file is not None:
+            sink_file.close()
     print(render_report(run, top=args.top))
     if args.export:
         written: Dict[str, int] = export_run(

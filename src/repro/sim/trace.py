@@ -52,6 +52,10 @@ class TraceLog:
         #: The run's observability bundle (:class:`repro.obs.Observability`),
         #: attached externally; None keeps instrumentation disabled.
         self.obs = None
+        #: The run's installed :class:`repro.faults.plan.FaultPlan`
+        #: (clauses accumulate across installs).  Repro bundles read it
+        #: so a failing seed ships its own injection script.
+        self.fault_plan = None
 
     def emit(
         self,

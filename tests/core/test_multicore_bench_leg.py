@@ -1,0 +1,72 @@
+"""The multicore bench leg: explicit skip vs. real-speedup demand.
+
+The leg itself runs inside ``make bench-perf``; these tests pin its
+*contract* — a 1-core host records a visible skip (never a vacuous
+pass), a multi-core host actually runs the sweep and records which
+hardware earned the number — cheaply, by steering ``usable_cores``.
+"""
+
+import pytest
+
+import benchmarks.bench_perf_core as bench
+
+
+class TestMulticoreLeg:
+    def test_single_core_records_explicit_skip(self, monkeypatch):
+        monkeypatch.setattr(bench, "usable_cores", lambda: 1)
+        leg = bench.multicore_speedup()
+        assert leg["skipped"] is True
+        assert leg["cores"] == 1
+        assert set(leg) == {"skipped", "cores", "reason"}  # no fake numbers
+        assert "2 usable cores" in leg["reason"]
+
+    def test_multi_core_runs_sweep_and_records_cores(self, monkeypatch):
+        monkeypatch.setattr(bench, "usable_cores", lambda: 3)
+        calls = {}
+
+        def fake_throughput(jobs, repeats, values, repetitions):
+            calls.update(jobs=jobs, repeats=repeats)
+            return {"jobs": jobs, "speedup": 2.4, "rows_identical": True}
+
+        monkeypatch.setattr(bench, "trial_throughput", fake_throughput)
+        leg = bench.multicore_speedup(repeats=1, values=(2,), repetitions=1)
+        assert calls["jobs"] == 3  # min(cores, 4)
+        assert leg["skipped"] is False
+        assert leg["cores"] == 3
+        assert leg["speedup"] == 2.4
+
+    def _payload(self, usable, multicore):
+        return {
+            "host": {"usable_cores": usable},
+            "kernel": {"events_per_sec": 100_000},
+            "medium": {"frames_per_sec": 5_000, "deliveries": 10},
+            "sweep": {"rows_identical": True, "jobs": 1, "speedup": 1.0},
+            "multicore": multicore,
+            "pool_reuse": {"parallel": False},
+            "observability": {"events_identical": True,
+                              "metrics_identical": True,
+                              "events_per_sec_off": 50_000,
+                              "span_sample_rate": 1.0},
+            "quick": True,
+        }
+
+    def test_shape_gate_accepts_legitimate_skip(self):
+        bench._assert_shape(self._payload(1, {
+            "skipped": True, "cores": 1, "reason": "single core"}))
+
+    def test_shape_gate_rejects_skip_on_capable_host(self):
+        with pytest.raises(AssertionError):
+            bench._assert_shape(self._payload(4, {
+                "skipped": True, "cores": 4, "reason": "lazy"}))
+
+    def test_shape_gate_rejects_slow_multicore(self):
+        with pytest.raises(AssertionError, match="expected >="):
+            bench._assert_shape(self._payload(4, {
+                "skipped": False, "cores": 4, "jobs": 4,
+                "speedup": 1.1, "rows_identical": True}))
+
+    def test_shape_gate_rejects_divergent_rows(self):
+        with pytest.raises(AssertionError, match="diverged"):
+            bench._assert_shape(self._payload(4, {
+                "skipped": False, "cores": 4, "jobs": 4,
+                "speedup": 3.0, "rows_identical": False}))

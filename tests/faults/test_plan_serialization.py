@@ -1,0 +1,105 @@
+"""FaultPlan JSON serialization — the injection script rides the bundle."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (BORDER_ROUTER, FaultPlan, SensorClause,
+                               _clause_from_jsonable, _clause_to_jsonable)
+from repro.devices.sensors import SensorFault
+
+
+def full_plan():
+    return (FaultPlan()
+            .crash(at_s=30.0, node=5, recover_after_s=60.0)
+            .kill_border_router(at_s=40.0)
+            .partition(at_s=100.0, cut_x=45.0, heal_after_s=300.0)
+            .flap_link(at_s=200.0, a=1, b=2, down_s=5.0, cycles=3, up_s=2.0)
+            .sensor_fault(at_s=300.0, node=7, sensor="temperature",
+                          mode=SensorFault.DRIFT, clear_after_s=120.0)
+            .interference(at_s=400.0, duration_s=60.0, position=(12.0, 8.0),
+                          wifi_channel=11, duty_cycle=0.5)
+            .random_crashes(at_s=500.0, duration_s=600.0, mtbf_s=120.0,
+                            mttr_s=30.0, spare_root=False))
+
+
+class TestClauseRoundtrip:
+    def test_every_kind_roundtrips(self):
+        for clause in full_plan().clauses:
+            payload = _clause_to_jsonable(clause)
+            assert payload["kind"] == clause.kind
+            assert _clause_from_jsonable(payload) == clause
+
+    def test_payloads_are_json_safe(self):
+        for clause in full_plan().clauses:
+            restored = json.loads(json.dumps(_clause_to_jsonable(clause)))
+            assert _clause_from_jsonable(restored) == clause
+
+    def test_enum_and_tuple_fields_lowered(self):
+        plan = full_plan()
+        sensor = _clause_to_jsonable(plan.clauses[4])
+        assert sensor["mode"] == "drift"  # string, not SensorFault
+        interference = _clause_to_jsonable(plan.clauses[5])
+        assert interference["position"] == [12.0, 8.0]
+        restored = _clause_from_jsonable(interference)
+        assert restored.position == (12.0, 8.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault clause"):
+            _clause_from_jsonable({"kind": "meteor_strike", "at_s": 1.0})
+
+
+class TestPlanRoundtrip:
+    def test_plan_roundtrips_in_order(self):
+        plan = full_plan()
+        payload = plan.to_jsonable()
+        assert payload["format"] == "repro.faultplan/1"
+        assert [c["kind"] for c in payload["clauses"]] == [
+            "crash", "crash", "partition", "link_flap", "sensor",
+            "interference", "random_crashes"]
+        restored = FaultPlan.from_jsonable(json.loads(json.dumps(payload)))
+        assert restored.clauses == plan.clauses
+
+    def test_border_router_sentinel_survives(self):
+        plan = FaultPlan().kill_border_router(at_s=10.0)
+        restored = FaultPlan.from_jsonable(plan.to_jsonable())
+        assert restored.clauses[0].node == BORDER_ROUTER
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_jsonable({"format": "repro.faultplan/999",
+                                     "clauses": []})
+
+
+class TestInstallRegistersPlan:
+    def _system(self):
+        from repro.core.system import IIoTSystem, SystemConfig
+        from repro.deployment.topology import grid_topology
+
+        system = IIoTSystem.build(
+            grid_topology(2), config=SystemConfig(observability=True), seed=3)
+        system.start()
+        return system
+
+    def test_install_records_plan_on_trace(self):
+        system = self._system()
+        plan = FaultPlan().crash(at_s=50.0, node=1)
+        plan.install(system)
+        assert system.trace.fault_plan is not None
+        assert system.trace.fault_plan.clauses == plan.clauses
+
+    def test_installs_accumulate(self):
+        system = self._system()
+        FaultPlan().crash(at_s=50.0, node=1).install(system)
+        FaultPlan().partition(at_s=80.0, cut_x=10.0).install(system)
+        kinds = [c.kind for c in system.trace.fault_plan.clauses]
+        assert kinds == ["crash", "partition"]
+
+    def test_registered_plan_is_a_copy_of_clauses(self):
+        # Mutating the original plan after install must not rewrite the
+        # record of what was actually injected.
+        system = self._system()
+        plan = FaultPlan().crash(at_s=50.0, node=1)
+        plan.install(system)
+        plan.partition(at_s=90.0, cut_x=5.0)
+        assert [c.kind for c in system.trace.fault_plan.clauses] == ["crash"]
