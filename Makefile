@@ -4,7 +4,7 @@ PYTHONPATH := src
 .PHONY: test check-invariants check-dependability sweep bench bench-perf \
 	bench-perf-quick bench-scale bench-scale-quick report demo diff-core \
 	diff-core-baseline dependability-baseline diff-taxonomy \
-	diff-taxonomy-baseline
+	diff-taxonomy-baseline explain-core explain-core-baseline
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -18,7 +18,7 @@ test:
 # routes it through the warm worker pool even on a single-core host,
 # where the executor's serial fast-path would otherwise (correctly)
 # skip multiprocessing entirely.
-check-invariants: check-dependability
+check-invariants: check-dependability explain-core
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
 	REPRO_PARALLEL_FORCE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_scale.py --identity-only >/dev/null \
@@ -109,6 +109,24 @@ diff-core-baseline:
 	cp .diff-core/metrics.json $(DIFF_CORE_BASELINE)
 	rm -rf .diff-core
 	@echo "refreshed $(DIFF_CORE_BASELINE) — review and commit it"
+
+# Latency-attribution gate: re-runs the deterministic demo through
+# `repro explain` (same fixed config as diff-core) and exact-diffs the
+# per-layer attribution table against the committed baseline — a shift
+# in any layer's share of p95 latency fails the target even when the
+# aggregate metrics still match.
+EXPLAIN_BASELINE := benchmarks/results/explain_core.baseline.json
+explain-core:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro explain --metric net.latency_s --p 95 \
+		--export .explain-core.json >/dev/null
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro explain --diff $(EXPLAIN_BASELINE) .explain-core.json \
+		--fail-on $(DIFF_FAIL_ON)
+	rm -f .explain-core.json
+
+explain-core-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro explain --metric net.latency_s --p 95 \
+		--export $(EXPLAIN_BASELINE) >/dev/null
+	@echo "refreshed $(EXPLAIN_BASELINE) — review and commit it"
 
 # Same gate for the taxonomy capstone: re-runs the report-card bench
 # with metrics export on and diffs its row snapshot against the

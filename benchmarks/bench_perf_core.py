@@ -301,7 +301,8 @@ def pool_reuse_throughput(tasks: int = 96, workers: int = 2,
 # ----------------------------------------------------------------------
 def _instrumented_run(mode: str, side: int = 4,
                       duration_s: float = 3600.0,
-                      report_period_s: float = 30.0) -> Dict[str, Any]:
+                      report_period_s: float = 30.0,
+                      exemplar_cap: int = 4) -> Dict[str, Any]:
     """One deployment run: observability ``off``, ``sampled``, or ``full``.
 
     Tracing is off either way (the benchmark configuration), so the
@@ -320,6 +321,7 @@ def _instrumented_run(mode: str, side: int = 4,
         observability=mode != "off",
         span_sample_rate=OBS_SAMPLE_RATE if mode == "sampled" else 1.0,
         span_max_stored=OBS_SPAN_MAX if mode == "sampled" else None,
+        exemplar_max_per_bucket=exemplar_cap,
     )
     system = IIoTSystem.build(grid_topology(side), config=config, seed=13)
     system.add_field_sensors("temp", DiurnalField(mean=20.0))
@@ -389,10 +391,18 @@ def observability_overhead(repeats: int = 4,
             elif mode == "full":
                 full = leg
     rates = {mode: events[mode] / walls[mode] for mode in walls}
+    s_snap, f_snap = sampled["snapshot"], full["snapshot"]
     return {
         "events": int(events["off"]),
         "events_identical": len(set(events.values())) == 1,
-        "metrics_identical": sampled["snapshot"] == full["snapshot"],
+        # Metric *values* only: exemplars are span-linked annotations,
+        # so a sampled run legitimately links fewer of them.
+        "metrics_identical": (
+            s_snap.counters == f_snap.counters
+            and s_snap.gauges == f_snap.gauges
+            and s_snap.histograms == f_snap.histograms
+            and s_snap.sketches == f_snap.sketches
+        ),
         "events_per_sec_off": round(rates["off"]),
         "events_per_sec_on": round(rates["sampled"]),
         "events_per_sec_full": round(rates["full"]),
@@ -403,6 +413,55 @@ def observability_overhead(repeats: int = 4,
         "spans_stored": sampled["spans_stored"],
         "spans_sampled_out": sampled["spans_sampled_out"],
         "spans_evicted": sampled["spans_evicted"],
+    }
+
+
+def attribution_overhead(repeats: int = 3,
+                         duration_s: float = 3600.0) -> Dict[str, Any]:
+    """Events/sec with exemplar reservoirs on (default cap) vs off.
+
+    Exemplars are the latency-attribution hook: each histogram bucket
+    keeps the first few ``(value, trace_id)`` pairs so ``repro explain``
+    can walk from a p95 row to the span trees behind it.  The contract
+    is that they are pure *annotation*: both legs run identical
+    full-fidelity observability, must process identical event counts,
+    and must produce identical metric *values* — the snapshots may
+    differ only in the ``exemplars`` field itself.  The headline number
+    is the reservoir's wall-time price, gated at <= 5% outside quick
+    mode (it is a dict insert on the first ``cap`` hits per bucket and
+    a no-op after, so it should be near zero).
+    """
+    walls = {"off": float("inf"), "on": float("inf")}
+    events: Dict[str, float] = {}
+    snaps: Dict[str, Any] = {}
+    for _ in range(repeats):
+        for mode in ("off", "on"):
+            leg = _instrumented_run("full", duration_s=duration_s,
+                                    exemplar_cap=4 if mode == "on" else 0)
+            events[mode] = leg["events"]
+            walls[mode] = min(walls[mode], leg["wall_s"])
+            snaps[mode] = leg["snapshot"]
+    on, off = snaps["on"], snaps["off"]
+    entries = sum(
+        len(bucket_entries)
+        for _cap, buckets in on.exemplars.values()
+        for _idx, bucket_entries in buckets
+    )
+    rates = {mode: events[mode] / walls[mode] for mode in walls}
+    return {
+        "events": int(events["off"]),
+        "events_identical": len(set(events.values())) == 1,
+        "metric_values_identical": (
+            on.counters == off.counters and on.gauges == off.gauges
+            and on.histograms == off.histograms
+            and on.sketches == off.sketches
+        ),
+        "exemplar_series": len(on.exemplars),
+        "exemplar_entries": entries,
+        "exemplars_off_empty": not off.exemplars,
+        "events_per_sec_exemplars_off": round(rates["off"]),
+        "events_per_sec_exemplars_on": round(rates["on"]),
+        "overhead_pct": round((rates["off"] / rates["on"] - 1.0) * 100.0, 1),
     }
 
 
@@ -435,6 +494,8 @@ def run_perf_core(jobs: int = 0, quick: bool = False) -> Dict[str, Any]:
             "pool_reuse": pool_reuse_throughput(tasks=48, repeats=2),
             "observability": observability_overhead(repeats=2,
                                                     duration_s=1200.0),
+            "attribution": attribution_overhead(repeats=2,
+                                                duration_s=1200.0),
         }
         return payload
     payload = {
@@ -450,6 +511,7 @@ def run_perf_core(jobs: int = 0, quick: bool = False) -> Dict[str, Any]:
         "multicore": multicore_speedup(),
         "pool_reuse": pool_reuse_throughput(),
         "observability": observability_overhead(),
+        "attribution": attribution_overhead(),
     }
     with open(BENCH_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -514,6 +576,21 @@ def _assert_shape(payload: Dict[str, Any]) -> None:
         assert obs["overhead_pct"] <= 15.0, (
             f"sampled observability costs {obs['overhead_pct']}%"
         )
+    attribution = payload["attribution"]
+    assert attribution["events_identical"], "exemplars changed event counts"
+    assert attribution["metric_values_identical"], (
+        "exemplar reservoirs perturbed metric values"
+    )
+    assert attribution["exemplars_off_empty"], (
+        "exemplar_max_per_bucket=0 still recorded exemplars"
+    )
+    assert attribution["exemplar_entries"] > 0, (
+        "exemplar leg recorded no exemplars to attribute from"
+    )
+    if not quick:
+        assert attribution["overhead_pct"] <= 5.0, (
+            f"exemplar reservoirs cost {attribution['overhead_pct']}%"
+        )
 
 
 def bench_perf_core(benchmark) -> None:
@@ -528,7 +605,8 @@ def bench_perf_core(benchmark) -> None:
           f"multicore "
           f"{'skipped (1 core)' if payload['multicore'].get('skipped') else 'x%s' % payload['multicore']['speedup']}, "
           f"warm pool x{payload['pool_reuse'].get('warm_speedup', 'n/a')}, "
-          f"obs overhead {payload['observability']['overhead_pct']}% "
+          f"obs overhead {payload['observability']['overhead_pct']}%, "
+          f"exemplars {payload['attribution']['overhead_pct']}% "
           f"-> {BENCH_PATH}")
 
 
@@ -554,7 +632,7 @@ def export_payload_metrics(payload: Dict[str, Any], path: str) -> str:
             registry.set(prefix, float(value))
 
     for section in ("kernel", "medium", "sweep", "multicore", "pool_reuse",
-                    "observability"):
+                    "observability", "attribution"):
         walk(f"perf_core.{section}", payload[section])
     write_metrics_json(registry.snapshot(), path)
     return path

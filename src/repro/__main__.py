@@ -88,6 +88,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "diff":
         from repro.obs.diff import diff_main
         return diff_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.obs.analysis import explain_main
+        return explain_main(argv[1:])
     if argv and argv[0] == "dependability":
         from repro.checking.dependability import dependability_main
         return dependability_main(argv[1:])

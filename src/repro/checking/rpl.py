@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.checking.base import InvariantChecker
+from repro.checking.base import FaultWindowMixin, InvariantChecker
 from repro.net.rpl.dodag import RplRouter, RplState
 from repro.net.rpl.objective import INFINITE_RANK
 from repro.sim.trace import TraceRecord
@@ -58,8 +58,17 @@ def _find_cycles(parent: Dict[int, int]) -> List[FrozenSet[int]]:
     return cycles
 
 
-class DodagStructureChecker(InvariantChecker):
+class DodagStructureChecker(FaultWindowMixin, InvariantChecker):
     """Samples routers for cycles and rank inversions.
+
+    Fault-window aware: inside a window declared via
+    :meth:`~repro.checking.base.FaultWindowMixin.declare_fault_window`
+    (e.g. a :meth:`~repro.faults.plan.FaultPlan.random_crashes` storm),
+    sampled structure checks are suspended — stale parent pointers and
+    DAO entries are expected consequences of deliberately crashing
+    routers.  Persistence streaks freeze rather than reset, so a defect
+    that survives past the window (plus grace) still needs only
+    ``persistence`` further samples to fire.
 
     Parameters
     ----------
@@ -112,6 +121,8 @@ class DodagStructureChecker(InvariantChecker):
 
     def _sample(self) -> None:
         self.samples += 1
+        if self.in_fault_window(self.sim.now):
+            return
         seen: set = set()
         self._check_parent_graph(seen)
         self._check_rank_monotonicity(seen)

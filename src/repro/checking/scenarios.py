@@ -234,10 +234,54 @@ def availability_probe_scenario(seed: int) -> CheckerSuite:
     return suite
 
 
+def random_crashes_scenario(seed: int) -> CheckerSuite:
+    """A bounded stochastic crash/repair storm over the whole fleet.
+
+    The :meth:`~repro.faults.plan.FaultPlan.random_crashes` clause runs
+    exponential MTBF/MTTR cycles (root spared) inside a declared fault
+    window, then drains — every node is repaired at the window's edge.
+    Unlike the scripted scenarios above, the *fault schedule itself* is
+    seed-dependent, so sweeping seeds explores genuinely different
+    crash interleavings against the same invariants: routing state must
+    stay loop-free through arbitrary departures, and the fleet must
+    re-join after the storm.
+    """
+    config = SystemConfig(
+        stack=StackConfig(
+            mac="csma",
+            rpl=RplConfig(dao_period_s=60.0),
+        ),
+        invariant_checking=True,
+        observability=True,
+    )
+    system = IIoTSystem.build(grid_topology(3), config=config, seed=seed)
+    suite = system.checkers
+
+    system.start()
+    system.run(240.0)
+
+    start = system.sim.now
+    plan = (
+        FaultPlan()
+        .random_crashes(start + 60.0, duration_s=900.0,
+                        mtbf_s=1800.0, mttr_s=120.0, spare_root=True)
+    )
+    # Stale routing state *during* the storm is a fault consequence;
+    # the checkers still demand a clean fleet after window + grace
+    # (grace covers DAO refresh, one period plus persistence slack).
+    for checker in suite.checkers:
+        if hasattr(checker, "declare_fault_window"):
+            plan.declare_windows(checker, grace_s=180.0)
+    plan.install(system)
+    system.run(1200.0)  # storm (960 s past start) + re-join settle
+    return suite
+
+
 #: name -> scenario, for the CLI and the integration sweep.
 BUILTIN_SCENARIOS = {
     "partition-crdt": partition_crdt_scenario,
     "rnfd-root-failure": rnfd_root_failure_scenario,
     "hvac-safety": hvac_safety_scenario,
     "availability-probe": availability_probe_scenario,
+    "random-crashes": random_crashes_scenario,
 }

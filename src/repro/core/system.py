@@ -78,6 +78,12 @@ class SystemConfig:
     #: percentile semantics are unchanged unless a run asks for
     #: bounded-memory histograms.
     histogram_sketch: bool = False
+    #: Histogram exemplar reservoir bound: keep at most this many
+    #: ``(value, trace_id)`` exemplars per log bucket per series
+    #: (repro.obs.registry).  Exemplars annotate metrics — they never
+    #: change counter/gauge/histogram values, so gated runs and diff
+    #: baselines are unaffected at any setting.  0 disables exemplars.
+    exemplar_max_per_bucket: int = 4
 
 
 class TimeSeriesStore:
@@ -141,6 +147,7 @@ class IIoTSystem:
                 span_seed=sim.seed,
                 span_max=config.span_max_stored,
                 histogram_sketch=config.histogram_sketch,
+                exemplar_max_per_bucket=config.exemplar_max_per_bucket,
             )
             self.obs.attach(trace)
             if config.telemetry_interval_s is not None:

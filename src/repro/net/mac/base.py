@@ -182,6 +182,12 @@ class MacLayer(abc.ABC):
             return
         self._busy = True
         job = self._queue.popleft()
+        if job.ctx is not None:
+            obs = self.trace.obs
+            if obs is not None and obs.spans is not None:
+                # Waypoint for latency attribution: time before this is
+                # queue wait, after it channel access (backoff/CCA).
+                obs.spans.annotate(job.ctx, service_start=self.sim.now)
         self._start_job(job)
 
     @abc.abstractmethod

@@ -236,15 +236,20 @@ class NetworkStack:
                 name, node=self.node_id, **labels)
         instrument.value += 1.0
 
-    def _observe_latency(self, obs: Any, port: int, latency: float) -> None:
+    def _observe_latency(self, obs: Any, port: int, latency: float,
+                         trace_id: Optional[int] = None) -> None:
         recorders = self._obs_slots(obs)[self._LATENCY]
-        record = recorders.get(port)
-        if record is None:
+        slot = recorders.get(port)
+        if slot is None:
             # `record` is the bound fast-path writer: values.append for
             # exact histograms, SketchHistogram.observe in sketch mode.
-            record = recorders[port] = obs.registry.histogram(
-                "net.latency_s", port=port).record
-        record(latency)
+            # The instrument rides along for exemplar recording, which
+            # only runs on sampled (trace-carrying) deliveries.
+            instrument = obs.registry.histogram("net.latency_s", port=port)
+            slot = recorders[port] = (instrument.record, instrument)
+        slot[0](latency)
+        if trace_id is not None:
+            slot[1].add_exemplar(latency, trace_id)
 
     # ------------------------------------------------------------------
     # socket API
@@ -443,7 +448,9 @@ class NetworkStack:
         obs = self.trace.obs
         if obs is not None:
             self._count_datagram(obs, self._DELIVERED, "net.delivered")
-            self._observe_latency(obs, datagram.dst_port, latency)
+            ctx = packet.trace_ctx
+            self._observe_latency(obs, datagram.dst_port, latency,
+                                  ctx.trace_id if ctx is not None else None)
             if obs.spans is not None and packet.trace_ctx is not None:
                 obs.spans.finish(packet.trace_ctx, self.sim.now,
                                  delivered=True, latency=latency,

@@ -25,10 +25,21 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.analysis import (
+    Attribution,
+    AttributionError,
+    Segment,
+    analyze_run,
+    attribute_trace,
+    critical_path,
+    diff_explain,
+    render_explain,
+)
 from repro.obs.diff import MetricDelta, diff_snapshots, load_snapshot
 from repro.obs.export import (
     export_run,
     read_metrics_json,
+    write_explain_txt,
     write_metrics_csv,
     write_metrics_json,
     write_spans_jsonl,
@@ -47,6 +58,8 @@ from repro.sim.trace import TraceLog
 
 __all__ = [
     "AlertRule",
+    "Attribution",
+    "AttributionError",
     "Counter",
     "FlightDump",
     "FlightRecorder",
@@ -58,6 +71,7 @@ __all__ = [
     "NodeHealthSampler",
     "Observability",
     "Registry",
+    "Segment",
     "SimProfiler",
     "SketchHistogram",
     "Span",
@@ -67,12 +81,18 @@ __all__ = [
     "TelemetryEngine",
     "TelemetrySnapshot",
     "TelemetryWindow",
+    "analyze_run",
+    "attribute_trace",
+    "critical_path",
+    "diff_explain",
     "diff_snapshots",
     "export_run",
     "gated_run",
     "health_rows",
     "load_snapshot",
     "read_metrics_json",
+    "render_explain",
+    "write_explain_txt",
     "write_metrics_csv",
     "write_metrics_json",
     "write_spans_jsonl",
@@ -139,9 +159,11 @@ class Observability:
                  span_seed: int = 0,
                  span_max: Optional[int] = None,
                  span_pinned: Optional[frozenset] = None,
-                 histogram_sketch: bool = False) -> None:
+                 histogram_sketch: bool = False,
+                 exemplar_max_per_bucket: int = 4) -> None:
         self.registry = registry if registry is not None else Registry(
-            histogram_sketch=histogram_sketch)
+            histogram_sketch=histogram_sketch,
+            exemplar_max_per_bucket=exemplar_max_per_bucket)
         #: set by the system wiring when SystemConfig(telemetry_interval_s=)
         #: is given — layers and exporters find both via ``trace.obs``.
         self.telemetry: Optional[TelemetryEngine] = None

@@ -106,17 +106,34 @@ def write_metrics_csv(snapshot: MetricsSnapshot, path: str) -> int:
     return len(rows)
 
 
+def write_explain_txt(spans: SpanTracer, snapshot: MetricsSnapshot,
+                      path: str, topology: Any = None) -> int:
+    """The rendered latency-attribution waterfall for the run's p95
+    ``net.latency_s`` exemplars.  Returns the number of exemplar traces
+    attributed (0 writes nothing — exemplars off or none recorded)."""
+    from repro.obs.analysis import analyze_run, render_explain
+    payload = analyze_run(spans, snapshot,
+                          domain_of=getattr(topology, "domain_of", None))
+    if payload is None:
+        return 0
+    with open(path, "w") as handle:
+        handle.write(render_explain(payload) + "\n")
+    return len(payload["traces"])
+
+
 def export_run(
     trace: TraceLog,
     directory: str,
     snapshot: MetricsSnapshot = None,
+    topology: Any = None,
 ) -> Dict[str, int]:
     """Write every artifact a run produced into ``directory``.
 
     Exports whatever observability state is attached to ``trace``:
     span JSONL when a tracer is present, metrics CSV when a snapshot is
-    given (or a registry is attached), and the raw trace JSONL when
-    recording was enabled.
+    given (or a registry is attached), the latency-attribution
+    ``explain.txt`` when exemplar traces exist, and the raw trace JSONL
+    when recording was enabled.
     """
     os.makedirs(directory, exist_ok=True)
     written: Dict[str, int] = {}
@@ -131,6 +148,13 @@ def export_run(
             snapshot, os.path.join(directory, "metrics.csv"))
         written["metrics.json"] = write_metrics_json(
             snapshot, os.path.join(directory, "metrics.json"))
+    if (snapshot is not None and obs is not None
+            and obs.spans is not None and snapshot.exemplars):
+        traces = write_explain_txt(
+            obs.spans, snapshot, os.path.join(directory, "explain.txt"),
+            topology=topology)
+        if traces:
+            written["explain.txt"] = traces
     telemetry = getattr(obs, "telemetry", None)
     if telemetry is not None:
         written["telemetry.jsonl"] = write_windows_jsonl(

@@ -44,15 +44,26 @@ class FlightDump:
     at_s: float
     windows: List[TelemetryWindow] = field(default_factory=list)
     spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: Worst exemplar trace ids per histogram metric at dump time —
+    #: the traces ``repro explain --trace`` attributes post-mortem.
+    exemplars: Dict[str, List[int]] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "format": "repro.flightdump/1",
             "trigger": self.trigger,
             "at_s": self.at_s,
             "windows": [window_to_jsonable(w) for w in self.windows],
             "spans": self.spans,
         }
+        if self.exemplars:
+            # Additive key (same contract as metrics "exemplars"):
+            # absent unless exemplars were recorded, so pre-exemplar
+            # flight dumps keep their exact JSON shape.
+            payload["exemplars"] = {metric: list(traces)
+                                    for metric, traces
+                                    in sorted(self.exemplars.items())}
+        return payload
 
     def render(self) -> str:
         """Human-readable dump block (the repro-bundle presentation)."""
@@ -69,6 +80,9 @@ class FlightDump:
             end_s = f"{end:.3f}" if end is not None else "open"
             lines.append(f"  span {span['category']} node={span['node']}"
                          f" t={span['start']:.3f}..{end_s}")
+        for metric, traces in sorted(self.exemplars.items()):
+            lines.append(f"  exemplars {metric}: "
+                         + ", ".join(str(t) for t in traces))
         return "\n".join(lines)
 
 
@@ -122,10 +136,23 @@ class FlightRecorder:
             return None
         dump = FlightDump(trigger=trigger, at_s=at_s,
                           windows=self.engine.recent(self.last_k),
-                          spans=self._recent_pinned_spans(at_s))
+                          spans=self._recent_pinned_spans(at_s),
+                          exemplars=self._exemplar_links())
         self.dumps.append(dump)
         self.engine.registry.inc("recorder.dumps", trigger=trigger["kind"])
         return dump
+
+    def _exemplar_links(self, per_metric: int = 4) -> Dict[str, List[int]]:
+        """Worst exemplar traces per histogram metric at dump time."""
+        registry = self.engine.registry
+        metrics = sorted({key[0] for key in registry._histograms})
+        links: Dict[str, List[int]] = {}
+        for metric in metrics:
+            traces = [trace for _value, trace
+                      in registry.exemplars_for(metric)[:per_metric]]
+            if traces:
+                links[metric] = traces
+        return links
 
     def _recent_pinned_spans(self, at_s: float) -> List[Dict[str, Any]]:
         tracer = self.spans

@@ -41,9 +41,60 @@ SeriesKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
 #: with buckets sorted by index — plain data, picklable, mergeable.
 SketchData = Tuple[int, float, float, float, Tuple[Tuple[int, int], ...]]
 
+#: Frozen exemplar reservoir: ``(cap, ((bucket, ((value, trace), ...)),
+#: ...))`` with buckets sorted by index and entries in observation
+#: order — plain data, picklable, mergeable in the order given.
+ExemplarData = Tuple[int, Tuple[Tuple[int, Tuple[Tuple[float, int], ...]], ...]]
+
 
 def _series_key(name: str, labels: Dict[str, Any]) -> SeriesKey:
     return name, tuple(sorted(labels.items()))
+
+
+# ----------------------------------------------------------------------
+# exemplar reservoirs (shared by both histogram representations)
+# ----------------------------------------------------------------------
+# Exemplars link histogram buckets back to the span traces that landed
+# in them: ``observe(..., exemplar=trace_id)`` keeps the first ``cap``
+# ``(value, trace_id)`` pairs per log bucket (the same bucket index the
+# sketch uses, so exact and sketch registries agree on placement).
+# First-K is the deterministic reservoir policy: observation order is
+# seed-determined, and merging concatenates per bucket in the order
+# given before re-truncating — byte-identical for every jobs count.
+# Exemplars never feed back into the metric values themselves.
+def _add_exemplar(self, value: float, trace_id: int) -> None:
+    """Remember ``trace_id`` as an exemplar for ``value``'s bucket."""
+    if self.exemplar_cap <= 0:
+        return
+    bucket = _sketch_bucket(value)
+    entries = self.exemplars.get(bucket)
+    if entries is None:
+        entries = self.exemplars[bucket] = []
+    if len(entries) < self.exemplar_cap:
+        entries.append((value, int(trace_id)))
+
+
+def _freeze_exemplars(self) -> ExemplarData:
+    """Plain-data view of the reservoir (buckets sorted by index)."""
+    return (self.exemplar_cap,
+            tuple((idx, tuple(entries))
+                  for idx, entries in sorted(self.exemplars.items())))
+
+
+def merge_exemplars(a: ExemplarData, b: ExemplarData) -> ExemplarData:
+    """Merge two frozen reservoirs *in the order given*.
+
+    Per bucket: concatenate ``a``'s entries then ``b``'s, re-truncate to
+    the cap (first snapshot's cap wins, mirroring gauge last-write /
+    first-structure conventions).  Order-given merging keeps the result
+    byte-identical across jobs counts and chunksizes.
+    """
+    cap = a[0]
+    buckets: Dict[int, List[Tuple[float, int]]] = {idx: list(entries) for idx, entries in a[1]}
+    for idx, entries in b[1]:
+        buckets.setdefault(idx, []).extend(entries)
+    return (cap, tuple((idx, tuple(entries[:cap]))
+                       for idx, entries in sorted(buckets.items())))
 
 
 class Counter:
@@ -84,16 +135,23 @@ class Histogram:
     and works identically on :class:`SketchHistogram`.
     """
 
-    __slots__ = ("name", "labels", "values", "record")
+    __slots__ = ("name", "labels", "values", "record",
+                 "exemplar_cap", "exemplars")
 
-    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
+    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...],
+                 exemplar_cap: int = 0) -> None:
         self.name = name
         self.labels = labels
         self.values: List[float] = []
         self.record = self.values.append
+        self.exemplar_cap = exemplar_cap
+        self.exemplars: Dict[int, List[Tuple[float, int]]] = {}
 
     def observe(self, value: float) -> None:
         self.values.append(value)
+
+    add_exemplar = _add_exemplar
+    freeze_exemplars = _freeze_exemplars
 
     @property
     def count(self) -> int:
@@ -179,9 +237,10 @@ class SketchHistogram:
     """
 
     __slots__ = ("name", "labels", "count", "sum", "min", "max",
-                 "buckets", "record")
+                 "buckets", "record", "exemplar_cap", "exemplars")
 
-    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...]) -> None:
+    def __init__(self, name: str, labels: Tuple[Tuple[str, Any], ...],
+                 exemplar_cap: int = 0) -> None:
         self.name = name
         self.labels = labels
         self.count = 0
@@ -190,6 +249,8 @@ class SketchHistogram:
         self.max = -math.inf
         self.buckets: Dict[int, int] = {}
         self.record = self.observe
+        self.exemplar_cap = exemplar_cap
+        self.exemplars: Dict[int, List[Tuple[float, int]]] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -200,6 +261,9 @@ class SketchHistogram:
             self.max = value
         idx = _sketch_bucket(value)
         self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    add_exemplar = _add_exemplar
+    freeze_exemplars = _freeze_exemplars
 
     def freeze(self) -> SketchData:
         if self.count == 0:
@@ -221,8 +285,10 @@ class Registry:
     partners always agree on representation.
     """
 
-    def __init__(self, histogram_sketch: bool = False) -> None:
+    def __init__(self, histogram_sketch: bool = False,
+                 exemplar_max_per_bucket: int = 4) -> None:
         self.histogram_sketch = histogram_sketch
+        self.exemplar_max_per_bucket = exemplar_max_per_bucket
         self._histogram_cls = SketchHistogram if histogram_sketch else Histogram
         self._counters: Dict[SeriesKey, Counter] = {}
         self._gauges: Dict[SeriesKey, Gauge] = {}
@@ -268,7 +334,8 @@ class Registry:
             key = _series_key(name, labels)
             instrument = self._histograms.get(key)
             if instrument is None:
-                instrument = self._histograms[key] = self._histogram_cls(name, key[1])
+                instrument = self._histograms[key] = self._histogram_cls(
+                    name, key[1], self.exemplar_max_per_bucket)
             self._histogram_cache[cache_key] = instrument
         return instrument
 
@@ -292,7 +359,10 @@ class Registry:
             instrument = self.gauge(name, **labels)
         instrument.value = value
 
-    def observe(self, name: str, value: float, **labels: Any) -> None:
+    def observe(self, name: str, value: float, exemplar: Optional[int] = None,
+                **labels: Any) -> None:
+        # ``exemplar`` is an explicit keyword (ahead of **labels) so a
+        # trace id is never mistaken for a label dimension.
         instrument = self._histogram_cache.get((name, tuple(labels.items())))
         if instrument is None:
             instrument = self.histogram(name, **labels)
@@ -300,6 +370,8 @@ class Registry:
         # (sketch) — bound once at instrument construction, so the mode
         # branch costs nothing here.
         instrument.record(value)
+        if exemplar is not None:
+            instrument.add_exemplar(value, exemplar)
 
     # ------------------------------------------------------------------
     # reading
@@ -324,18 +396,33 @@ class Registry:
                 out.extend(self._histograms[key].values)
         return out
 
+    def exemplars_for(self, name: str) -> List[Tuple[float, int]]:
+        """Live view of :meth:`MetricsSnapshot.exemplars_for`: every
+        ``(value, trace_id)`` exemplar of ``name``, worst first."""
+        out: List[Tuple[float, int]] = []
+        for key in sorted(self._histograms, key=repr):
+            if key[0] == name:
+                for entries in self._histograms[key].exemplars.values():
+                    out.extend(entries)
+        out.sort(key=lambda entry: (-entry[0], entry[1]))
+        return out
+
     def snapshot(self) -> "MetricsSnapshot":
         """Freeze the registry into plain, picklable data."""
+        exemplars = {k: h.freeze_exemplars()
+                     for k, h in self._histograms.items() if h.exemplars}
         if self.histogram_sketch:
             return MetricsSnapshot(
                 counters={k: c.value for k, c in self._counters.items()},
                 gauges={k: g.value for k, g in self._gauges.items()},
                 sketches={k: h.freeze() for k, h in self._histograms.items()},
+                exemplars=exemplars,
             )
         return MetricsSnapshot(
             counters={k: c.value for k, c in self._counters.items()},
             gauges={k: g.value for k, g in self._gauges.items()},
             histograms={k: tuple(h.values) for k, h in self._histograms.items()},
+            exemplars=exemplars,
         )
 
 
@@ -351,6 +438,9 @@ class MetricsSnapshot:
     gauges: Dict[SeriesKey, float] = field(default_factory=dict)
     histograms: Dict[SeriesKey, Tuple[float, ...]] = field(default_factory=dict)
     sketches: Dict[SeriesKey, SketchData] = field(default_factory=dict)
+    #: Exemplar reservoirs per histogram series — annotation, never a
+    #: metric: `repro diff` and `rows()` ignore it by design.
+    exemplars: Dict[SeriesKey, ExemplarData] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -374,6 +464,9 @@ class MetricsSnapshot:
             for key, data in snap.sketches.items():
                 prior = merged.sketches.get(key)
                 merged.sketches[key] = data if prior is None else merge_sketch(prior, data)
+            for key, data in snap.exemplars.items():
+                prior = merged.exemplars.get(key)
+                merged.exemplars[key] = data if prior is None else merge_exemplars(prior, data)
         return merged
 
     # ------------------------------------------------------------------
@@ -385,6 +478,18 @@ class MetricsSnapshot:
         for key in sorted(self.histograms, key=repr):
             if key[0] == name:
                 out.extend(self.histograms[key])
+        return out
+
+    def exemplars_for(self, name: str) -> List[Tuple[float, int]]:
+        """Every ``(value, trace_id)`` exemplar recorded for ``name``,
+        across label sets and buckets, sorted by descending value (ties
+        by trace id) — index 0 is the worst case on record."""
+        out: List[Tuple[float, int]] = []
+        for key in sorted(self.exemplars, key=repr):
+            if key[0] == name:
+                for _idx, entries in self.exemplars[key][1]:
+                    out.extend(entries)
+        out.sort(key=lambda entry: (-entry[0], entry[1]))
         return out
 
     # ------------------------------------------------------------------
@@ -425,6 +530,20 @@ class MetricsSnapshot:
                     "buckets": [[idx, n] for idx, n in buckets],
                 })
             payload["sketches"] = sketch_rows
+        if self.exemplars:
+            # Additive key, same contract as "sketches": absent unless
+            # exemplars were recorded, so pre-exemplar baselines stay
+            # byte-identical.
+            exemplar_rows = []
+            for key in sorted(self.exemplars, key=repr):
+                name, labels = key
+                cap, buckets = self.exemplars[key]
+                exemplar_rows.append({
+                    "name": name, "labels": dict(labels), "cap": cap,
+                    "buckets": [[idx, [[value, trace] for value, trace in entries]]
+                                for idx, entries in buckets],
+                })
+            payload["exemplars"] = exemplar_rows
         return payload
 
     @classmethod
@@ -447,6 +566,12 @@ class MetricsSnapshot:
                 int(entry["count"]), float(entry["sum"]),
                 float(entry["min"]), float(entry["max"]),
                 tuple((int(i), int(n)) for i, n in entry["buckets"]),
+            )
+        for entry in payload.get("exemplars", []):
+            snap.exemplars[key_of(entry)] = (
+                int(entry["cap"]),
+                tuple((int(idx), tuple((float(v), int(t)) for v, t in entries))
+                      for idx, entries in entry["buckets"]),
             )
         return snap
 

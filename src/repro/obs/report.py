@@ -243,6 +243,13 @@ def render_report(run: ReportRun, top: int = 8) -> str:
             f"p95={percentile(latencies, 0.95):.4f}s  "
             f"max={max(latencies):.4f}s"
         )
+        exemplars = registry.exemplars_for("net.latency_s")[:3]
+        if exemplars:
+            # The histogram's worst exemplar traces, linked so the p95
+            # row leads straight to attributable span trees.
+            lines.append("worst exemplar traces: " + ", ".join(
+                f"{trace} ({value:.4f}s)" for value, trace in exemplars)
+                + "  [python -m repro explain --trace ID]")
     else:
         lines.append("(no delivered datagrams)")
 
@@ -447,7 +454,8 @@ def report_main(argv) -> int:
     if args.export:
         written: Dict[str, int] = export_run(
             run.system.trace, args.export,
-            snapshot=run.system.obs.registry.snapshot())
+            snapshot=run.system.obs.registry.snapshot(),
+            topology=run.system.topology)
         print(_section("exported"))
         for name in sorted(written):
             print(f"{args.export}/{name}: {written[name]} records")

@@ -270,6 +270,20 @@ class SpanTracer:
         if data:
             span.data.update(data)
 
+    def annotate(self, ctx: Optional[SpanContext], **data: Any) -> None:
+        """Attach data to an open span *without* closing it.
+
+        Mid-span waypoints (e.g. the MAC job's ``service_start``) let
+        the latency attributor split one span's interval into finer
+        layers than start/end alone allow.  Same ``ctx=None`` no-op
+        contract as :meth:`finish`.
+        """
+        if ctx is None or not data:
+            return
+        span = self.spans.get(ctx.span_id)
+        if span is not None:
+            span.data.update(data)
+
     def event(
         self,
         parent: Optional[SpanContext],

@@ -436,6 +436,13 @@ class TelemetryEngine:
                                            metric=key[0], value=value,
                                            labels=dict(key[1]),
                                            window=window.index)
+                    # Link the firing to its worst recorded exemplar
+                    # traces so `repro explain --trace` can attribute
+                    # the latency behind the SLO breach.
+                    exemplars = [trace for _value, trace
+                                 in self.registry.exemplars_for(key[0])[:4]]
+                    if exemplars:
+                        self.spans.annotate(ctx, exemplars=exemplars)
                     self.spans.finish(ctx, t=window.end)
         if fired:
             window.alerts = tuple(fired)

@@ -47,6 +47,11 @@ class TestMulticoreLeg:
                               "metrics_identical": True,
                               "events_per_sec_off": 50_000,
                               "span_sample_rate": 1.0},
+            "attribution": {"events_identical": True,
+                            "metric_values_identical": True,
+                            "exemplars_off_empty": True,
+                            "exemplar_entries": 9,
+                            "overhead_pct": 0.1},
             "quick": True,
         }
 

@@ -1,0 +1,157 @@
+"""Histogram exemplars: bounded trace links that never touch metrics.
+
+The reservoir contract (DESIGN.md, "Latency attribution"):
+
+- ``Registry.observe(..., exemplar=trace_id)`` keeps the first
+  ``exemplar_max_per_bucket`` ``(value, trace_id)`` pairs per log
+  bucket per series — first-K, not last-K, so the links are stable
+  under later traffic;
+- exemplars never alter counter/gauge/histogram/sketch values, so every
+  committed diff baseline is unaffected at any cap;
+- snapshots freeze, JSON round-trips, and the ``exemplars`` key is
+  emitted only when non-empty (pre-exemplar baselines stay
+  byte-identical);
+- merge is order-given: concatenate per bucket, truncate to the first
+  snapshot's cap — the same in-trial-index-order fold every other
+  snapshot field rides.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsSnapshot,
+    Registry,
+    _sketch_bucket,
+    merge_exemplars,
+)
+
+
+def _observe_decade(registry, name, trace_base=100, **labels):
+    """Three well-separated values (distinct log buckets)."""
+    for i, value in enumerate((0.002, 0.2, 20.0)):
+        registry.observe(name, value, exemplar=trace_base + i, **labels)
+
+
+class TestReservoir:
+    def test_exemplar_links_value_to_trace(self):
+        registry = Registry()
+        registry.observe("lat", 0.25, exemplar=41, port=7)
+        assert registry.exemplars_for("lat") == [(0.25, 41)]
+
+    def test_exemplars_for_sorts_worst_value_first(self):
+        registry = Registry()
+        _observe_decade(registry, "lat", port=7)
+        values = [value for value, _trace in registry.exemplars_for("lat")]
+        assert values == sorted(values, reverse=True)
+
+    def test_first_k_per_bucket_wins(self):
+        registry = Registry(exemplar_max_per_bucket=2)
+        # Five observations landing in one log bucket: only the first
+        # two trace links survive; the histogram keeps all five values.
+        values = [0.1, 0.101, 0.102, 0.103, 0.104]
+        for i, value in enumerate(values):
+            registry.observe("lat", value, exemplar=10 + i)
+        assert registry.exemplars_for("lat") == [
+            (0.101, 11), (0.1, 10)]
+        assert registry.histogram("lat").count == 5
+
+    def test_cap_zero_disables_recording(self):
+        registry = Registry(exemplar_max_per_bucket=0)
+        registry.observe("lat", 0.25, exemplar=41)
+        assert registry.exemplars_for("lat") == []
+        assert registry.snapshot().exemplars == {}
+
+    def test_observation_without_exemplar_records_nothing(self):
+        registry = Registry()
+        registry.observe("lat", 0.25)
+        assert registry.exemplars_for("lat") == []
+
+    def test_sketch_mode_keeps_exact_exemplar_values(self):
+        registry = Registry(histogram_sketch=True, exemplar_max_per_bucket=1)
+        registry.observe("lat", 0.25, exemplar=41)
+        registry.observe("lat", 0.26, exemplar=42)  # same bucket: dropped
+        assert registry.exemplars_for("lat") == [(0.25, 41)]
+
+    def test_exemplars_never_change_metric_values(self):
+        plain, annotated = Registry(), Registry()
+        for i, value in enumerate((0.1, 0.2, 0.3, 0.2)):
+            plain.observe("lat", value, port=1)
+            annotated.observe("lat", value, exemplar=i, port=1)
+        a, b = plain.snapshot(), annotated.snapshot()
+        assert a.counters == b.counters
+        assert a.histograms == b.histograms
+        assert a.sketches == b.sketches
+        assert a.rows() == b.rows()  # the CSV surface is identical too
+        assert not a.exemplars and b.exemplars
+
+
+class TestSnapshotAndJson:
+    def test_snapshot_freezes_against_later_observations(self):
+        registry = Registry()
+        registry.observe("lat", 0.25, exemplar=41)
+        snap = registry.snapshot()
+        registry.observe("lat", 25.0, exemplar=99)
+        assert snap.exemplars_for("lat") == [(0.25, 41)]
+
+    def test_json_round_trip(self):
+        registry = Registry(exemplar_max_per_bucket=3)
+        _observe_decade(registry, "lat", port=7)
+        registry.inc("sent")
+        snap = registry.snapshot()
+        clone = MetricsSnapshot.from_jsonable(
+            json.loads(json.dumps(snap.to_jsonable())))
+        assert clone == snap
+        assert clone.exemplars_for("lat") == snap.exemplars_for("lat")
+
+    def test_exemplars_key_absent_when_empty(self):
+        registry = Registry()
+        registry.observe("lat", 0.25)  # no exemplar= anywhere
+        payload = registry.snapshot().to_jsonable()
+        # Pre-exemplar baselines must stay byte-identical: the key only
+        # appears when a reservoir actually holds entries.
+        assert "exemplars" not in payload
+
+    def test_exemplars_key_present_when_recorded(self):
+        registry = Registry()
+        registry.observe("lat", 0.25, exemplar=41)
+        payload = registry.snapshot().to_jsonable()
+        assert payload["exemplars"] == [{
+            "name": "lat", "labels": {}, "cap": 4,
+            "buckets": [[_sketch_bucket(0.25), [[0.25, 41]]]],
+        }]
+
+
+class TestMerge:
+    def test_merge_concatenates_in_order_given(self):
+        a, b = Registry(exemplar_max_per_bucket=4), Registry(
+            exemplar_max_per_bucket=4)
+        a.observe("lat", 0.200, exemplar=1)
+        b.observe("lat", 0.201, exemplar=2)
+        merged = MetricsSnapshot.merge([a.snapshot(), b.snapshot()])
+        assert merged.exemplars_for("lat") == [(0.201, 2), (0.2, 1)]
+
+    def test_merge_truncates_to_first_snapshots_cap(self):
+        a, b = Registry(exemplar_max_per_bucket=1), Registry(
+            exemplar_max_per_bucket=4)
+        a.observe("lat", 0.200, exemplar=1)
+        b.observe("lat", 0.201, exemplar=2)
+        merged = MetricsSnapshot.merge([a.snapshot(), b.snapshot()])
+        assert merged.exemplars_for("lat") == [(0.2, 1)]
+
+    def test_merge_exemplars_is_associative_in_fold_order(self):
+        def data(trace, value):
+            return (4, ((_sketch_bucket(value), ((value, trace),)),))
+        a, b, c = data(1, 0.2), data(2, 0.21), data(3, 0.22)
+        left = merge_exemplars(merge_exemplars(a, b), c)
+        right = merge_exemplars(a, merge_exemplars(b, c))
+        assert left == right
+
+    def test_merge_with_exemplar_free_snapshot_is_identity(self):
+        a, empty = Registry(), Registry()
+        a.observe("lat", 0.2, exemplar=1)
+        empty.observe("lat", 0.3)
+        merged = MetricsSnapshot.merge([a.snapshot(), empty.snapshot()])
+        assert merged.exemplars_for("lat") == [(0.2, 1)]
+        assert merged.histogram_values("lat") == [0.2, 0.3]

@@ -84,8 +84,23 @@ class TestTriggers:
         payload = dump.to_jsonable()
         assert payload["format"] == "repro.flightdump/1"
         assert payload["trigger"]["checker"] == "TestChecker"
+        # Additive-key contract: no exemplars recorded, no key — a
+        # pre-exemplar dump's JSON shape is preserved exactly.
+        assert "exemplars" not in payload
         text = dump.render()
         assert "flight dump" in text and "checker=TestChecker" in text
+
+    def test_dump_carries_worst_exemplar_traces(self):
+        sim, registry, engine, recorder = make_recorder()
+        for i, value in enumerate((0.5, 0.9, 0.7)):
+            registry.observe("net.latency_s", value, exemplar=200 + i,
+                             port=7)
+        sim.run(until=15.0)
+        dump = recorder.on_violation(FakeViolation())
+        assert dump.exemplars == {"net.latency_s": [201, 202, 200]}
+        payload = dump.to_jsonable()
+        assert payload["exemplars"] == {"net.latency_s": [201, 202, 200]}
+        assert "exemplars net.latency_s: 201, 202, 200" in dump.render()
 
 
 class TestCheckerIntegration:

@@ -110,6 +110,35 @@ class TestCli:
             spans = [json.loads(line) for line in handle]
         assert any(span["category"] == "coap.request" for span in spans)
 
+    def test_export_round_trips_exemplars_and_writes_explain(
+            self, tmp_path, capsys):
+        from repro.obs.export import read_metrics_json
+
+        out_dir = tmp_path / "export"
+        assert report_main(["--side", "2", "--duration", "40",
+                            "--seed", "6", "--export", str(out_dir)]) == 0
+        capsys.readouterr()
+        snapshot = read_metrics_json(str(out_dir / "metrics.json"))
+        # The exported metrics carry the exemplar reservoirs, and they
+        # survive the JSON round trip with trace links intact.
+        exemplars = snapshot.exemplars_for("net.latency_s")
+        assert exemplars
+        assert all(isinstance(trace, int) for _value, trace in exemplars)
+        values = [value for value, _trace in exemplars]
+        assert values == sorted(values, reverse=True)
+        # Exemplars present + spans present => the attribution waterfall
+        # is part of the export bundle.
+        explain = (out_dir / "explain.txt").read_text()
+        assert "latency attribution" in explain
+        assert "aggregate waterfall" in explain
+
+    def test_report_links_worst_exemplar_traces(self, capsys):
+        assert report_main(["--side", "2", "--duration", "40",
+                            "--seed", "6", "--no-profile"]) == 0
+        text = capsys.readouterr().out
+        assert "worst exemplar traces:" in text
+        assert "python -m repro explain --trace" in text
+
     def test_cli_rejects_degenerate_grids(self, capsys):
         with pytest.raises(SystemExit):
             report_main(["--side", "1"])

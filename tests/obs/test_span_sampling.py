@@ -125,7 +125,27 @@ class TestOverheadKnobsAreStorageOnly:
         # Same events, same metric totals: sampling thins stored spans,
         # never counters and never the event schedule.
         assert sampled.sim.events_processed == full.sim.events_processed
-        assert sampled.obs.registry.snapshot() == full.obs.registry.snapshot()
+        full_snap = full.obs.registry.snapshot()
+        sampled_snap = sampled.obs.registry.snapshot()
+        assert sampled_snap.counters == full_snap.counters
+        assert sampled_snap.gauges == full_snap.gauges
+        assert sampled_snap.histograms == full_snap.histograms
+        assert sampled_snap.sketches == full_snap.sketches
+        # Exemplars are span-linked *annotations*, not metrics: only a
+        # trace that survived the sampling decision can be linked.  The
+        # sampled run's arrivals per bucket are a subsequence of the
+        # full run's, so with a first-K reservoir each bucket holds at
+        # most as many entries (the *identities* may differ — a late
+        # trace can claim a slot the full run's cap already closed).
+        def bucket_counts(snap):
+            return {
+                key: {idx: len(entries) for idx, entries in buckets}
+                for key, (_cap, buckets) in snap.exemplars.items()
+            }
+        full_counts = bucket_counts(full_snap)
+        for key, counts in bucket_counts(sampled_snap).items():
+            for idx, n in counts.items():
+                assert n <= full_counts[key].get(idx, 0)
         assert len(sampled.obs.spans) < len(full.obs.spans)
 
     def test_observability_off_runs_the_same_simulation(self):

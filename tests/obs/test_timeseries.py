@@ -192,6 +192,40 @@ class TestAlerts:
         sim.run(until=10.5)
         assert any(s.category == "alert.hot" for s in obs.spans.spans.values())
 
+    def test_alert_span_links_worst_exemplar_traces(self):
+        obs = Observability(spans=True)
+        sim = Simulator(seed=3)
+        engine = TelemetryEngine(
+            sim, obs.registry, interval_s=10.0, spans=obs.spans,
+            rules=[AlertRule("slow", "lat", threshold=2.0,
+                             kind="histogram_count")])
+        engine.start()
+
+        def burst():
+            for i, value in enumerate((0.5, 0.9, 0.7)):
+                obs.registry.observe("lat", value, exemplar=100 + i, node=1)
+
+        sim.schedule_at(1.0, burst)
+        sim.run(until=10.5)
+        alert_span = next(s for s in obs.spans.spans.values()
+                          if s.category == "alert.slow")
+        # Worst-value-first trace links, straight from the reservoir —
+        # the ids `repro explain --trace` attributes post-mortem.
+        assert alert_span.data["exemplars"] == [101, 102, 100]
+
+    def test_alert_span_omits_exemplars_when_none_recorded(self):
+        obs = Observability(spans=True)
+        sim = Simulator(seed=3)
+        engine = TelemetryEngine(
+            sim, obs.registry, interval_s=10.0, spans=obs.spans,
+            rules=[AlertRule("hot", "temp", threshold=30.0)])
+        engine.start()
+        sim.schedule_at(1.0, lambda: obs.registry.set("temp", 35.0))
+        sim.run(until=10.5)
+        alert_span = next(s for s in obs.spans.spans.values()
+                          if s.category == "alert.hot")
+        assert "exemplars" not in alert_span.data
+
     def test_below_threshold_does_not_fire(self):
         sim, registry, engine = make_engine(
             rules=[AlertRule("hot", "temp", threshold=30.0)])
