@@ -4,7 +4,8 @@ PYTHONPATH := src
 .PHONY: test check-invariants check-dependability sweep bench bench-perf \
 	bench-perf-quick bench-scale bench-scale-quick report demo diff-core \
 	diff-core-baseline dependability-baseline diff-taxonomy \
-	diff-taxonomy-baseline explain-core explain-core-baseline
+	diff-taxonomy-baseline explain-core explain-core-baseline \
+	bench-taxonomy-matrix diff-taxonomy-matrix taxonomy-matrix-baseline
 
 # Tier-1: the fast correctness suite (must always pass).
 test:
@@ -18,7 +19,7 @@ test:
 # routes it through the warm worker pool even on a single-core host,
 # where the executor's serial fast-path would otherwise (correctly)
 # skip multiprocessing entirely.
-check-invariants: check-dependability explain-core
+check-invariants: check-dependability explain-core diff-taxonomy-matrix
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/checking -q
 	REPRO_PARALLEL_FORCE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep --seeds 10 --jobs 2
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_scale.py --identity-only >/dev/null \
@@ -144,3 +145,27 @@ diff-taxonomy-baseline:
 		benchmarks/bench_taxonomy_report.py --benchmark-only -q >/dev/null
 	mv $(TAXONOMY_EXPORT) $(TAXONOMY_BASELINE)
 	@echo "refreshed $(TAXONOMY_BASELINE) — review and commit it"
+
+# The MAC x Trickle comparative matrix (E15): every {csma, lpl, rimac,
+# tsch} x {classic, adaptive-imin, adaptive-k} combination measured on
+# one grid. bench-taxonomy-matrix prints the table (REPRO_BENCH_JOBS=0
+# fans the 12 cells over all cores); diff-taxonomy-matrix re-runs it
+# with metrics export on and diffs every cell against the committed
+# baseline — any MAC or Trickle behaviour drift fails the gate.
+TAXONOMY_MATRIX_BASELINE := benchmarks/results/taxonomy_matrix.baseline.json
+TAXONOMY_MATRIX_EXPORT := benchmarks/results/taxonomy_matrix.metrics.json
+bench-taxonomy-matrix:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_taxonomy_matrix.py --benchmark-only -q -s
+
+diff-taxonomy-matrix:
+	REPRO_BENCH_EXPORT_METRICS=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_taxonomy_matrix.py --benchmark-only -q >/dev/null
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro diff $(TAXONOMY_MATRIX_BASELINE) $(TAXONOMY_MATRIX_EXPORT) --fail-on $(DIFF_FAIL_ON)
+	rm -f $(TAXONOMY_MATRIX_EXPORT)
+
+taxonomy-matrix-baseline:
+	REPRO_BENCH_EXPORT_METRICS=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_taxonomy_matrix.py --benchmark-only -q >/dev/null
+	mv $(TAXONOMY_MATRIX_EXPORT) $(TAXONOMY_MATRIX_BASELINE)
+	@echo "refreshed $(TAXONOMY_MATRIX_BASELINE) — review and commit it"

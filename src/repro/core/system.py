@@ -15,7 +15,7 @@ The three logical tiers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.deployment.topology import Topology
@@ -84,6 +84,13 @@ class SystemConfig:
     #: change counter/gauge/histogram values, so gated runs and diff
     #: baselines are unaffected at any setting.  0 disables exemplars.
     exemplar_max_per_bucket: int = 4
+    #: Trickle variant override for every node's DIO timer, one of
+    #: :data:`repro.net.rpl.trickle.TRICKLE_VARIANTS` ("classic",
+    #: "adaptive-imin", "adaptive-k").  None keeps whatever
+    #: ``StackConfig.rpl.trickle_variant`` says (default classic); a
+    #: value replaces the stack's RplConfig so whole-system experiments
+    #: flip the variant axis with one knob.
+    trickle_variant: Optional[str] = None
 
 
 class TimeSeriesStore:
@@ -135,6 +142,14 @@ class IIoTSystem:
         self.obs = None
         self.telemetry = None
         self.recorder = None
+        if config.trickle_variant is not None:
+            # Validate the name up front (a typo should fail the build,
+            # not the first node), then push it into the stack's RPL
+            # config so every router picks it up.
+            from repro.net.rpl.trickle import make_trickle_variant
+            make_trickle_variant(config.trickle_variant)
+            config.stack.rpl = replace(
+                config.stack.rpl, trickle_variant=config.trickle_variant)
         if config.telemetry_interval_s is not None and not config.observability:
             raise ValueError(
                 "SystemConfig(telemetry_interval_s=...) requires "

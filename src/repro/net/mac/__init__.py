@@ -10,29 +10,56 @@ implements one representative of each family:
   listening (the energy-unconstrained baseline);
 - :class:`LplMac` — low-power listening (BoX-MAC-2 style sender strobe);
 - :class:`RiMac` — receiver-initiated beacons (RI-MAC style);
+- :class:`TschMac` — TSCH-style scheduled slotframe with 6P-negotiated
+  cells (the 6TiSCH industrial baseline);
 - :class:`SyncFloodService` — Glossy/Dozer-style synchronous flooding,
   modelled at slot granularity.
 """
 
-from repro.net.mac.analysis import LplExpectations, frame_airtime_s
+from repro.net.mac.analysis import (
+    LplExpectations,
+    TschExpectations,
+    frame_airtime_s,
+    mac_summary_lines,
+)
 from repro.net.mac.base import MacConfigError, MacLayer, MacStats
 from repro.net.mac.csma import CsmaConfig, CsmaMac
 from repro.net.mac.lpl import LplConfig, LplMac
 from repro.net.mac.rimac import RiMacConfig, RiMac
 from repro.net.mac.syncflood import SyncFloodConfig, SyncFloodService
+from repro.net.mac.tsch import (
+    Cell,
+    SixpMessage,
+    SixpPeer,
+    SlotConflictError,
+    TschConfig,
+    TschMac,
+    TschSchedule,
+    TschStats,
+)
 
 __all__ = [
+    "Cell",
     "CsmaConfig",
     "CsmaMac",
     "LplConfig",
     "LplExpectations",
     "LplMac",
     "frame_airtime_s",
+    "mac_summary_lines",
     "MacConfigError",
     "MacLayer",
     "MacStats",
     "RiMac",
     "RiMacConfig",
+    "SixpMessage",
+    "SixpPeer",
+    "SlotConflictError",
     "SyncFloodConfig",
     "SyncFloodService",
+    "TschConfig",
+    "TschExpectations",
+    "TschMac",
+    "TschSchedule",
+    "TschStats",
 ]

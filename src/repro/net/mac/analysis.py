@@ -9,20 +9,31 @@ Analytic counterparts to the simulated MACs, used two ways:
   before simulating (the paper's §V-D "configuration requires
   expertise" problem, made a little smaller).
 
-Model (BoX-MAC/LPL, unicast, clean channel):
+Models:
 
-- per-hop rendezvous waits for the receiver's next probe: U(0, W), so
-  the expected per-hop latency is ``W/2`` plus transmission serialization;
-- an idle node's duty cycle is ``probe/W`` plus the occasional hold;
-- a phase-locked sender transmits for ~a guard window instead of the
-  rendezvous wait.
+- **LPL (BoX-MAC, unicast, clean channel)** — per-hop rendezvous waits
+  for the receiver's next probe: U(0, W), so the expected per-hop
+  latency is ``W/2`` plus transmission serialization; an idle node's
+  duty cycle is ``probe/W`` plus the occasional hold; a phase-locked
+  sender transmits for ~a guard window instead of the rendezvous wait.
+- **TSCH (scheduled slotframe)** — per-hop rendezvous waits for the
+  next usable cell: U(0, F/n) over a slotframe of period F with n
+  cells toward the hop, so the expected latency is ``F/(2n)`` plus the
+  in-slot exchange; an idle node's duty cycle is its listening slots
+  (the shared minimal cell plus any RX cells) over the slotframe.
+
+:func:`mac_summary_lines` is the report dashboard's MAC section: it
+dispatches on the fleet's MAC type, so scheduled MACs report cells and
+shared-cell contention instead of CSMA-style backoff fields.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.net.mac.lpl import LplConfig
+from repro.net.mac.tsch import TschConfig
 from repro.net.packet import MAC_HEADER_BYTES
 from repro.radio.medium import BITRATE_BPS, PHY_OVERHEAD_BYTES
 
@@ -73,3 +84,105 @@ class LplExpectations:
             raise ValueError("sends_per_second must be >= 0")
         traffic = sends_per_second * self.sender_strobe_airtime_s(payload_bytes)
         return min(1.0, self.idle_duty_cycle() + traffic)
+
+
+@dataclass(frozen=True)
+class TschExpectations:
+    """Analytic predictions for one TSCH configuration."""
+
+    config: TschConfig
+
+    def slotframe_period_s(self) -> float:
+        """One slotframe revolution, seconds."""
+        return self.config.slot_duration_s * self.config.slotframe_slots
+
+    def expected_hop_latency_s(self, cells: int = 1,
+                               payload_bytes: int = 20) -> float:
+        """Mean one-hop delay through ``cells`` usable cells per frame.
+
+        ``cells=1`` covers both a single dedicated cell and the shared
+        minimal cell: the frame arrives uniformly within the slotframe,
+        waits ``F/(2·cells)`` for the next rendezvous, then pays the
+        in-slot offset and serialization.
+        """
+        if cells < 1:
+            raise ValueError("cells must be >= 1")
+        return (self.slotframe_period_s() / (2.0 * cells)
+                + self.config.tx_offset_s
+                + frame_airtime_s(payload_bytes))
+
+    def expected_path_latency_s(self, hops: int, cells: int = 1,
+                                payload_bytes: int = 20) -> float:
+        """Mean end-to-end delay over ``hops`` independent rendezvous."""
+        if hops < 0:
+            raise ValueError("hops must be >= 0")
+        return hops * self.expected_hop_latency_s(cells, payload_bytes)
+
+    def idle_duty_cycle(self, rx_cells: int = 0) -> float:
+        """Radio-on fraction of a node listening its shared minimal
+        cell plus ``rx_cells`` dedicated RX cells (whole-slot holds)."""
+        if rx_cells < 0:
+            raise ValueError("rx_cells must be >= 0")
+        return min(1.0, (1 + rx_cells) / self.config.slotframe_slots)
+
+
+def mac_summary_lines(macs: Sequence[object]) -> List[str]:
+    """Dashboard lines describing a fleet's MAC layer.
+
+    Dispatches on the MAC implementation, so scheduled MACs render
+    schedule statistics (dedicated cells, cell utilization, shared-cell
+    contention, 6P traffic) while contention MACs render their
+    duty-cycle parameters — the report no longer assumes CSMA-shaped
+    internals.
+    """
+    from repro.net.mac.csma import CsmaMac
+    from repro.net.mac.lpl import LplMac
+    from repro.net.mac.rimac import RiMac
+    from repro.net.mac.tsch import TschMac
+
+    macs = list(macs)
+    if not macs:
+        return []
+    head = macs[0]
+    if isinstance(head, TschMac):
+        cells = [len(m.schedule.dedicated_cells()) for m in macs]
+        util = [m.cell_utilization() for m in macs]
+        contention = [m.shared_contention() for m in macs]
+        sixp = sum(m.tsch_stats.sixp_sent for m in macs)
+        timeouts = sum(m.tsch_stats.sixp_timeouts for m in macs)
+        added = sum(m.tsch_stats.cells_added for m in macs)
+        deleted = sum(m.tsch_stats.cells_deleted for m in macs)
+        expect = TschExpectations(head.config)
+        return [
+            (f"tsch: slotframe={head.config.slotframe_slots} slots x "
+             f"{head.config.slot_duration_s * 1000:.0f}ms, "
+             f"{len(head.config.hopping)}-channel hopping"),
+            (f"cells: dedicated={sum(cells)} "
+             f"(max/node={max(cells)}), added={added} deleted={deleted}, "
+             f"6p msgs={sixp} timeouts={timeouts}"),
+            (f"cell utilization: mean={sum(util) / len(util):.0%}  "
+             f"shared-cell contention: mean="
+             f"{sum(contention) / len(contention):.0%}"),
+            (f"idle duty-cycle floor: {expect.idle_duty_cycle():.1%} "
+             f"(shared minimal cell)"),
+        ]
+    if isinstance(head, LplMac):
+        expect = LplExpectations(head.config)
+        return [
+            (f"lpl: wake interval={head.config.wake_interval_s:.3f}s, "
+             f"probe={head.config.probe_duration_s * 1000:.1f}ms, "
+             f"idle duty-cycle floor: {expect.idle_duty_cycle():.1%}"),
+        ]
+    if isinstance(head, RiMac):
+        return [
+            (f"rimac: beacon period={head.config.wake_interval_s:.3f}s "
+             f"(±{head.config.jitter:.0%}), "
+             f"dwell={head.config.dwell_s * 1000:.1f}ms"),
+        ]
+    if isinstance(head, CsmaMac):
+        return [
+            (f"csma: always-on CSMA/CA, max retries="
+             f"{head.config.max_retries}, "
+             f"cca attempts={head.config.max_cca_attempts}"),
+        ]
+    return []

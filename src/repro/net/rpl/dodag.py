@@ -28,7 +28,7 @@ from repro.net.rpl.objective import (
     Mrhof,
     ROOT_RANK,
 )
-from repro.net.rpl.trickle import TrickleTimer
+from repro.net.rpl.trickle import TrickleTimer, make_trickle_variant
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer, Timer
 from repro.sim.trace import TraceLog
@@ -77,6 +77,11 @@ class RplConfig:
     trickle_imin_s: float = 2.0
     trickle_doublings: int = 8
     trickle_k: int = 5
+    #: DIO pacing policy, one of
+    #: :data:`repro.net.rpl.trickle.TRICKLE_VARIANTS` ("classic",
+    #: "adaptive-imin", "adaptive-k").  Classic is byte-identical to
+    #: the pre-variant implementation.
+    trickle_variant: str = "classic"
     dao_period_s: float = 120.0
     dis_period_s: float = 15.0
     parent_fail_threshold: int = 3
@@ -159,6 +164,7 @@ class RplRouter:
             rng=self._rng,
             trace=self.trace,
             node=node_id,
+            variant=make_trickle_variant(self.config.trickle_variant),
         )
         self._dao_timer = PeriodicTimer(
             sim, self.config.dao_period_s, self._send_dao,

@@ -1,20 +1,187 @@
-"""The Trickle timer (RFC 6206).
+"""The Trickle timer (RFC 6206) with pluggable adaptation variants.
 
 Trickle is the pacing heart of RPL's DIO beaconing: transmissions slow
 down exponentially while the network is consistent and snap back to the
 minimum interval on inconsistency, giving both low steady-state overhead
 and fast repair — the self-organizing behaviour §V-D credits to sensing
 and actuation layer protocols.
+
+The timer itself is a fixed state machine; the *policy* decisions — the
+redundancy constant, the reset target, the interval growth — are
+delegated to a :class:`TrickleVariant`.  The base variant is classic
+RFC 6206 and reproduces the pre-refactor behaviour exactly (same RNG
+draws, same event schedule), so runs that never select a variant stay
+byte-identical.  The adaptive variants follow the qTrickle/ACPB line of
+work: :class:`AdaptiveIminVariant` adapts the effective I_min to the
+observed inconsistency load, :class:`AdaptiveKVariant` adapts the
+suppression threshold to the observed per-interval redundancy.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Type
 
 from repro.sim.kernel import Simulator
 from repro.sim.timers import Timer
 from repro.sim.trace import TraceLog
+
+
+class TrickleVariant:
+    """Adaptation policy consulted by :class:`TrickleTimer`.
+
+    The base class *is* classic RFC 6206: fixed redundancy constant
+    ``k``, reset to the configured I_min, doubling up to I_max.
+    Adaptive variants override the decision hooks; the two ``observe_*``
+    callbacks feed load signals back into the policy.  Instances are
+    stateful and bind to exactly one timer.
+    """
+
+    name = "classic"
+
+    def __init__(self) -> None:
+        self.timer: Optional["TrickleTimer"] = None
+
+    def bind(self, timer: "TrickleTimer") -> "TrickleVariant":
+        """Attach to one timer; returns self for chaining."""
+        if self.timer is not None and self.timer is not timer:
+            raise ValueError(
+                "a TrickleVariant instance binds to exactly one timer; "
+                "build a fresh one per timer (see make_trickle_variant)")
+        self.timer = timer
+        return self
+
+    # -- decision hooks ------------------------------------------------
+    def suppression_threshold(self) -> int:
+        """Redundancy constant consulted when the fire point arrives."""
+        return self.timer.k
+
+    def reset_interval(self) -> float:
+        """Target interval for an inconsistency reset."""
+        return self.timer.imin
+
+    def next_interval(self, interval: float) -> float:
+        """Interval following a completed interval."""
+        return min(interval * 2.0, self.timer.imax)
+
+    # -- load feedback -------------------------------------------------
+    def observe_reset(self) -> None:
+        """An inconsistency was signalled (called before the restart)."""
+
+    def observe_interval_end(self, heard: int) -> None:
+        """An interval completed having heard ``heard`` consistent msgs."""
+
+
+class AdaptiveIminVariant(TrickleVariant):
+    """Load-aware I_min adaptation (in the spirit of qTrickle).
+
+    Bursts of inconsistency shrink the *effective* I_min — each reset
+    multiplies it by ``shrink``, floored at ``floor_factor * imin`` —
+    so repair traffic reacts faster while the topology is churning.
+    ``relax_after`` consecutive quiet intervals double it back toward
+    the configured I_min, restoring the classic steady-state overhead
+    once the network settles.
+    """
+
+    name = "adaptive-imin"
+
+    def __init__(self, shrink: float = 0.5, floor_factor: float = 0.25,
+                 relax_after: int = 2) -> None:
+        super().__init__()
+        if not 0.0 < shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        if not 0.0 < floor_factor <= 1.0:
+            raise ValueError("floor_factor must be in (0, 1]")
+        if relax_after < 1:
+            raise ValueError("relax_after must be >= 1")
+        self.shrink = shrink
+        self.floor_factor = floor_factor
+        self.relax_after = relax_after
+        self.imin_eff = 0.0
+        self._quiet = 0
+
+    def bind(self, timer: "TrickleTimer") -> "AdaptiveIminVariant":
+        super().bind(timer)
+        self.imin_eff = timer.imin
+        return self
+
+    def reset_interval(self) -> float:
+        return self.imin_eff
+
+    def observe_reset(self) -> None:
+        self._quiet = 0
+        self.imin_eff = max(self.timer.imin * self.floor_factor,
+                            self.imin_eff * self.shrink)
+        self.timer.record_gauge("rpl.trickle.imin_eff_s", self.imin_eff)
+
+    def observe_interval_end(self, heard: int) -> None:
+        self._quiet += 1
+        if self._quiet >= self.relax_after and self.imin_eff < self.timer.imin:
+            self._quiet = 0
+            self.imin_eff = min(self.timer.imin, self.imin_eff * 2.0)
+            self.timer.record_gauge("rpl.trickle.imin_eff_s", self.imin_eff)
+
+
+class AdaptiveKVariant(TrickleVariant):
+    """Suppression-threshold adaptation (in the spirit of ACPB).
+
+    The effective ``k`` tracks observed per-interval redundancy: an
+    interval that heard more than ``k_eff`` consistent messages lowers
+    it toward ``k_min`` (dense neighborhood — suppress more), one that
+    heard fewer than half raises it toward ``k_max`` (sparse — beacon
+    more so coverage doesn't starve).
+    """
+
+    name = "adaptive-k"
+
+    def __init__(self, k_min: int = 1, k_max: Optional[int] = None) -> None:
+        super().__init__()
+        if k_min < 1:
+            raise ValueError("k_min must be >= 1")
+        if k_max is not None and k_max < k_min:
+            raise ValueError("k_max must be >= k_min")
+        self.k_min = k_min
+        self._k_max_config = k_max
+        self.k_eff = 0
+        self.k_max = 0
+
+    def bind(self, timer: "TrickleTimer") -> "AdaptiveKVariant":
+        super().bind(timer)
+        self.k_eff = max(self.k_min, timer.k)
+        self.k_max = (self._k_max_config if self._k_max_config is not None
+                      else max(2 * timer.k, timer.k + 1))
+        return self
+
+    def suppression_threshold(self) -> int:
+        return self.k_eff
+
+    def observe_interval_end(self, heard: int) -> None:
+        if heard > self.k_eff and self.k_eff > self.k_min:
+            self.k_eff -= 1
+            self.timer.record_gauge("rpl.trickle.k_eff", self.k_eff)
+        elif heard < max(1, self.k_eff // 2) and self.k_eff < self.k_max:
+            self.k_eff += 1
+            self.timer.record_gauge("rpl.trickle.k_eff", self.k_eff)
+
+
+#: name -> variant class, for config-driven selection
+#: (``RplConfig(trickle_variant=)`` / ``SystemConfig(trickle_variant=)``).
+TRICKLE_VARIANTS: Dict[str, Type[TrickleVariant]] = {
+    TrickleVariant.name: TrickleVariant,
+    AdaptiveIminVariant.name: AdaptiveIminVariant,
+    AdaptiveKVariant.name: AdaptiveKVariant,
+}
+
+
+def make_trickle_variant(name: str) -> TrickleVariant:
+    """Instantiate a registered variant by name (fresh per timer)."""
+    try:
+        cls = TRICKLE_VARIANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown Trickle variant {name!r}; "
+            f"choose from {sorted(TRICKLE_VARIANTS)}") from None
+    return cls()
 
 
 class TrickleTimer:
@@ -35,6 +202,8 @@ class TrickleTimer:
         Optional observability wiring: when the shared trace log carries
         an ``repro.obs`` bundle, the timer records per-node
         ``rpl.trickle.*`` counters and the current interval gauge.
+    variant:
+        Adaptation policy (default: classic RFC 6206 behaviour).
     """
 
     def __init__(
@@ -47,6 +216,7 @@ class TrickleTimer:
         rng: Optional[random.Random] = None,
         trace: Optional[TraceLog] = None,
         node: Optional[int] = None,
+        variant: Optional[TrickleVariant] = None,
     ) -> None:
         if imin_s <= 0:
             raise ValueError("imin_s must be positive")
@@ -62,6 +232,8 @@ class TrickleTimer:
         self._rng = rng if rng is not None else sim.substream("trickle")
         self._trace = trace
         self._node = node
+        self.variant = (variant if variant is not None
+                        else TrickleVariant()).bind(self)
         self.interval = imin_s
         self.counter = 0
         self._fire_timer = Timer(sim, self._fire)
@@ -100,17 +272,25 @@ class TrickleTimer:
         self.reset()
 
     def reset(self) -> None:
-        """External event: restart at I_min unless already there."""
+        """External event: restart at the variant's reset interval."""
         if not self._running:
             return
         self.resets += 1
         obs = self._trace.obs if self._trace is not None else None
         if obs is not None:
             obs.registry.inc("rpl.trickle.reset", node=self._node)
-        if self.interval > self.imin:
-            self.interval = self.imin
+        self.variant.observe_reset()
+        target = self.variant.reset_interval()
+        if self.interval > target:
+            self.interval = target
             self._begin_interval()
-        # RFC 6206: if I == Imin already, do nothing.
+        # RFC 6206: if I is already at the target, do nothing.
+
+    def record_gauge(self, name: str, value: float) -> None:
+        """Record a variant-owned gauge (no-op when uninstrumented)."""
+        obs = self._trace.obs if self._trace is not None else None
+        if obs is not None:
+            obs.registry.set(name, value, node=self._node)
 
     # ------------------------------------------------------------------
     def _begin_interval(self) -> None:
@@ -121,7 +301,7 @@ class TrickleTimer:
 
     def _fire(self) -> None:
         obs = self._trace.obs if self._trace is not None else None
-        if self.counter < self.k:
+        if self.counter < self.variant.suppression_threshold():
             self.transmissions += 1
             if obs is not None:
                 obs.registry.inc("rpl.trickle.tx", node=self._node)
@@ -132,7 +312,8 @@ class TrickleTimer:
                 obs.registry.inc("rpl.trickle.suppressed", node=self._node)
 
     def _interval_end(self) -> None:
-        self.interval = min(self.interval * 2.0, self.imax)
+        self.variant.observe_interval_end(self.counter)
+        self.interval = self.variant.next_interval(self.interval)
         obs = self._trace.obs if self._trace is not None else None
         if obs is not None:
             obs.registry.set("rpl.trickle.interval_s", self.interval,

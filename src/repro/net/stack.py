@@ -21,6 +21,7 @@ from repro.net.mac.base import MacLayer
 from repro.net.mac.csma import CsmaConfig, CsmaMac
 from repro.net.mac.lpl import LplConfig, LplMac
 from repro.net.mac.rimac import RiMac, RiMacConfig
+from repro.net.mac.tsch import TschConfig, TschMac
 from repro.net.packet import BROADCAST, Datagram, MacFrame, NetPacket
 from repro.net.rpl.dodag import RplConfig, RplRouter, RplState
 from repro.net.rpl.messages import (
@@ -43,6 +44,7 @@ _MAC_REGISTRY = {
     "csma": (CsmaMac, CsmaConfig),
     "lpl": (LplMac, LplConfig),
     "rimac": (RiMac, RiMacConfig),
+    "tsch": (TschMac, TschConfig),
 }
 
 _OBJECTIVE_REGISTRY = {"mrhof": Mrhof, "of0": Of0}

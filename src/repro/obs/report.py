@@ -234,6 +234,9 @@ def render_report(run: ReportRun, top: int = 8) -> str:
                  f"retransmits={registry.total('coap.retransmit'):.0f}")
     lines.append(f"mac tx: {registry.total('mac.tx'):.0f} jobs, "
                  f"queue drops={registry.total('mac.queue_drop'):.0f}")
+    from repro.net.mac.analysis import mac_summary_lines
+    lines.extend(mac_summary_lines(
+        [system.nodes[nid].stack.mac for nid in sorted(system.nodes)]))
 
     latencies = registry.values("net.latency_s")
     lines.append(_section("end-to-end latency"))

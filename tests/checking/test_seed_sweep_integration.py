@@ -12,6 +12,7 @@ from repro.checking.scenarios import (
     partition_crdt_scenario,
     random_crashes_scenario,
     rnfd_root_failure_scenario,
+    tsch_dependability_scenario,
 )
 from repro.checking.sweep import SeedSweepRunner
 
@@ -40,6 +41,21 @@ class TestSeedSweeps:
         outcomes = runner.sweep(SEEDS)
         assert len(outcomes) == SEEDS
         assert all(o.clean for o in outcomes)
+
+    def test_tsch_stack_clean_across_seeds(self):
+        # The partition + root-kill moves over the scheduled MAC: the
+        # checkers and fault plan are unchanged from the CSMA
+        # scenarios — MAC-agnostic invariants must hold through
+        # slotframe rendezvous and 6P renegotiation too.
+        runner = SeedSweepRunner("tsch-dependability",
+                                 tsch_dependability_scenario)
+        outcomes = runner.sweep(SEEDS)
+        assert len(outcomes) == SEEDS
+        assert all(o.clean for o in outcomes)
+
+    def test_tsch_dependability_is_a_builtin(self):
+        assert (BUILTIN_SCENARIOS["tsch-dependability"]
+                is tsch_dependability_scenario)
 
     def test_random_crashes_is_a_builtin_with_declared_windows(self):
         assert BUILTIN_SCENARIOS["random-crashes"] is random_crashes_scenario

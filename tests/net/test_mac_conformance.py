@@ -1,0 +1,133 @@
+"""Cross-MAC conformance matrix: one contract, four channel-access
+disciplines.
+
+Every MAC behind :class:`~repro.net.mac.base.MacLayer` — always-on CSMA,
+LPL strobing, receiver-initiated beacons, and the TSCH slotframe — must
+honor the same observable contract, so the taxonomy and dependability
+harnesses can swap MACs without touching a checker:
+
+- every dequeued frame ends in **exactly one** terminal outcome, and
+  the queue accounting identity holds at any instant;
+- the registry's ``mac.tx`` counters reconcile with per-node
+  :class:`MacStats` exactly;
+- delivered traffic nests ``mac.job -> radio.airtime`` spans with the
+  ``service_start`` waypoint, so ``repro explain`` waterfalls render
+  identically across MACs;
+- metric snapshots are byte-identical between jobs=1 and jobs=N sweeps.
+"""
+
+import pytest
+
+from repro.obs import MetricsSnapshot, Observability
+from repro.parallel import TrialExecutor
+from tests.conftest import build_line_network
+
+MACS = ["csma", "lpl", "rimac", "tsch"]
+SEEDS = [11, 12, 13]
+
+
+def _snapshot_trial(mac, seed):
+    """One instrumented scenario: converge a 3-node line on ``mac``,
+    push one application datagram end to end, snapshot the registry.
+
+    Module-level so process pools can move it through pickle.
+    """
+    sim, log, stacks = build_line_network(3, mac=mac, seed=seed)
+    obs = Observability(spans=False).attach(log)
+    sim.run(until=300.0)
+    stacks[-1].send_datagram(0, 7, payload="reading", payload_bytes=20)
+    sim.run(until=sim.now + 60.0)
+    return obs.registry.snapshot()
+
+
+def mac_tx_by_outcome(snapshot, node):
+    """(ok, failed) totals of the ``mac.tx`` counter for one node."""
+    ok = failed = 0.0
+    for (name, labels), value in snapshot.counters.items():
+        if name != "mac.tx":
+            continue
+        labels = dict(labels)
+        if labels.get("node") != node:
+            continue
+        if labels.get("ok"):
+            ok += value
+        else:
+            failed += value
+    return ok, failed
+
+
+@pytest.mark.parametrize("mac", MACS)
+class TestTerminalOutcomes:
+    def test_every_dequeued_frame_ends_in_exactly_one_outcome(self, mac):
+        sim, log, stacks = build_line_network(3, mac=mac, seed=5)
+        sim.run(until=300.0)
+        outcomes = []
+        probes = [(0, 1), (1, 0), (1, 2), (2, 1),
+                  (0, 2)]  # 40 m apart: out of range, must fail not hang
+        for i, (src, dst) in enumerate(probes):
+            stacks[src].mac.send(
+                dst, f"probe{i}", 20,
+                done=(lambda idx: lambda ok: outcomes.append((idx, ok)))(i))
+        sim.run(until=sim.now + 600.0)
+        fired = sorted(idx for idx, _ in outcomes)
+        assert fired == list(range(len(probes))), \
+            "each probe's done callback fires exactly once"
+        assert dict(outcomes)[4] is False  # the unreachable probe
+        for stack in stacks:
+            stats = stack.mac.stats
+            in_flight = 1 if stack.mac._busy else 0
+            # Accounting identity: whatever entered the queue is either
+            # finished (one way), still queued, or the in-flight job.
+            assert stats.enqueued == (stats.tx_success + stats.tx_failed
+                                      + stack.mac.queue_length + in_flight)
+
+    def test_registry_tx_counters_reconcile_with_mac_stats(self, mac):
+        sim, log, stacks = build_line_network(3, mac=mac, seed=7)
+        obs = Observability(spans=False).attach(log)
+        sim.run(until=300.0)
+        stacks[-1].send_datagram(0, 7, payload="reading", payload_bytes=20)
+        sim.run(until=sim.now + 60.0)
+        snapshot = obs.registry.snapshot()
+        assert snapshot.counter_total("mac.tx") > 0
+        for stack in stacks:
+            ok, failed = mac_tx_by_outcome(snapshot, stack.node_id)
+            assert ok == stack.mac.stats.tx_success
+            assert failed == stack.mac.stats.tx_failed
+
+
+@pytest.mark.parametrize("mac", MACS)
+class TestSpanNesting:
+    def test_jobs_nest_airtime_and_carry_service_start(self, mac):
+        sim, log, stacks = build_line_network(3, mac=mac, seed=9)
+        obs = Observability().attach(log)
+        sim.run(until=300.0)
+        stacks[-1].send_datagram(0, 7, payload="reading", payload_bytes=20)
+        sim.run(until=sim.now + 60.0)
+        spans = obs.spans.spans
+        jobs = [s for s in spans.values() if s.category == "mac.job"]
+        assert jobs, "instrumented traffic must produce mac.job spans"
+        children = {}
+        for span in spans.values():
+            children.setdefault(span.parent_id, []).append(span)
+        for job in jobs:
+            # The queue/access split waypoint every MAC annotates at
+            # dequeue -- the `repro explain` waterfall contract.
+            assert "service_start" in job.data
+            assert job.data["service_start"] >= job.start
+            if job.end is not None and job.data.get("ok"):
+                categories = [c.category for c in children.get(
+                    job.span_id, [])]
+                assert "radio.airtime" in categories
+
+
+@pytest.mark.parametrize("mac", MACS)
+class TestParallelSnapshots:
+    def test_jobs1_and_jobs2_merge_byte_identically(self, mac, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
+        tasks = [(mac, seed) for seed in SEEDS]
+        serial = MetricsSnapshot.merge(
+            TrialExecutor(jobs=1).map(_snapshot_trial, tasks))
+        parallel = MetricsSnapshot.merge(
+            TrialExecutor(jobs=2).map(_snapshot_trial, tasks))
+        assert serial == parallel
+        assert serial.rows() == parallel.rows()
